@@ -1,0 +1,79 @@
+//! Ablation bench for DESIGN.md decision #2: heterogeneous vs even budget
+//! splitting — both the computational cost of the gOA's split and the
+//! *quality* difference (how much requested overclock demand each split
+//! satisfies), reported via a Criterion throughput measurement plus a
+//! printed quality summary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::rng::Pcg32;
+use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
+use soc_power::units::Watts;
+use std::hint::black_box;
+
+fn demands(n: usize, seed: u64) -> (Watts, Vec<DemandProfile>) {
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let profiles: Vec<DemandProfile> = (0..n)
+        .map(|_| DemandProfile {
+            regular: Watts::new(rng.gen_range_f64(150.0, 400.0)),
+            overclock_demand: Watts::new(if rng.gen_bool(0.5) {
+                rng.gen_range_f64(0.0, 80.0)
+            } else {
+                0.0
+            }),
+        })
+        .collect();
+    let regular_total: f64 = profiles.iter().map(|p| p.regular.get()).sum();
+    // Limit leaves headroom for roughly half of the demand.
+    let demand_total: f64 = profiles.iter().map(|p| p.overclock_demand.get()).sum();
+    (Watts::new(regular_total + 0.5 * demand_total), profiles)
+}
+
+/// Quality of a budget assignment: fraction of overclock demand satisfiable,
+/// and the number of servers whose budget does not even cover their regular
+/// draw (those servers would be *throttled*, the §IV-C failure mode of even
+/// splits).
+fn quality(budgets: &[Watts], profiles: &[DemandProfile]) -> (f64, usize) {
+    let mut got = 0.0;
+    let mut want = 0.0;
+    let mut starved = 0;
+    for (b, p) in budgets.iter().zip(profiles) {
+        if *b < p.regular {
+            starved += 1;
+        }
+        let headroom = (*b - p.regular).clamp_non_negative().get();
+        want += p.overclock_demand.get();
+        got += headroom.min(p.overclock_demand.get());
+    }
+    let frac = if want == 0.0 { 1.0 } else { got / want };
+    (frac, starved)
+}
+
+fn bench_split(c: &mut Criterion) {
+    let (limit, profiles) = demands(32, 7);
+    c.bench_function("heterogeneous_split_32_servers", |b| {
+        b.iter(|| black_box(heterogeneous_split(black_box(limit), black_box(&profiles))))
+    });
+
+    // Quality ablation: print once, outside the timed loop.
+    let hetero = heterogeneous_split(limit, &profiles);
+    let even = vec![limit / profiles.len() as f64; profiles.len()];
+    let (h_frac, h_starved) = quality(&hetero, &profiles);
+    let (e_frac, e_starved) = quality(&even, &profiles);
+    println!(
+        "\n[ablation] heterogeneous split: {:.1}% of overclock demand satisfied, {} servers \
+         starved below their regular draw; even split: {:.1}% satisfied but {} servers starved \
+         (paper §IV-C: even shares disproportionately hurt power-hungry servers)",
+        h_frac * 100.0,
+        h_starved,
+        e_frac * 100.0,
+        e_starved
+    );
+    assert_eq!(h_starved, 0, "heterogeneous budgets never starve a server's regular draw");
+    assert!(
+        e_starved > 0,
+        "this workload should show the even split starving power-hungry servers"
+    );
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation bench for the cooling-technology discussion of §III-Q2:
+//! "advanced cooling can be used to enhance the capability (e.g., duration)
+//! as lower operating temperatures reduce ageing".
+//!
+//! Measures the wear-model evaluation cost on the sOA hot path and prints
+//! the sustainable overclocking duty cycle under air, liquid, and immersion
+//! cooling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soc_power::units::Watts;
+use soc_reliability::thermal::{sustainable_duty_cycle, Cooling, ThermalModel};
+use soc_reliability::wear::WearModel;
+use simcore::time::SimDuration;
+use std::hint::black_box;
+
+fn bench_cooling(c: &mut Criterion) {
+    let wear = WearModel::default();
+    let plan = wear.curve().plan();
+
+    c.bench_function("wear_ageing_rate", |b| {
+        b.iter(|| {
+            black_box(wear.ageing_rate(black_box(0.7), plan.max_overclock(), black_box(72.0)))
+        })
+    });
+
+    c.bench_function("thermal_step", |b| {
+        let mut t = ThermalModel::new(Cooling::Air, SimDuration::from_secs(60));
+        b.iter(|| {
+            t.step(black_box(Watts::new(350.0)), SimDuration::from_secs(5));
+            black_box(t.junction_c())
+        })
+    });
+
+    // Ablation (printed once): the overclocking duty cycle each cooling
+    // technology sustains without exceeding reference ageing.
+    let duty = |cooling| {
+        sustainable_duty_cycle(
+            &wear,
+            cooling,
+            0.55,
+            plan.max_overclock(),
+            Watts::new(250.0),
+            Watts::new(330.0),
+        )
+    };
+    let (air, liquid, immersion) =
+        (duty(Cooling::Air), duty(Cooling::Liquid), duty(Cooling::Immersion));
+    println!(
+        "\n[ablation] sustainable overclock duty cycle: air {:.1}%, liquid {:.1}%, immersion {:.1}% \
+         (paper §III-Q2: advanced cooling extends overclocking duration)",
+        air * 100.0,
+        liquid * 100.0,
+        immersion * 100.0
+    );
+    assert!(air < liquid && liquid < immersion, "cooling ordering must hold");
+}
+
+criterion_group!(benches, bench_cooling);
+criterion_main!(benches);

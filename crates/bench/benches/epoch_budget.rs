@@ -1,0 +1,65 @@
+//! Ablation bench for DESIGN.md decision #5: the weekly epoch budget with
+//! carry-over. Measures the cost of the budget bookkeeping (consume/reserve
+//! on the admission hot path) and prints an ablation of epoch length:
+//! weekly epochs let weekend surplus fund weekday peaks, daily epochs do not
+//! (paper §IV-B: "Using a longer epoch, such as a week, enables assigning
+//! unused budgets from the weekend to the weekdays").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simcore::time::{SimDuration, SimTime};
+use soc_reliability::budget::OverclockBudget;
+use std::hint::black_box;
+
+/// Simulate a fortnight of demand: 3 h of wanted overclocking per weekday,
+/// none on weekends. Returns the fraction of demanded hours actually
+/// granted under the given epoch length.
+fn grant_fraction(epoch: SimDuration) -> f64 {
+    let mut budget = OverclockBudget::new(0.10, epoch);
+    let mut wanted = 0.0;
+    let mut granted = 0.0;
+    for day in 0..14u64 {
+        let t = SimTime::ZERO + SimDuration::from_days(day);
+        if t.weekday().is_weekend() {
+            continue;
+        }
+        for hour in 0..3u64 {
+            let at = t + SimDuration::from_hours(9 + hour);
+            wanted += 1.0;
+            if budget.consume(at, SimDuration::from_hours(1)).is_ok() {
+                granted += 1.0;
+            }
+        }
+    }
+    granted / wanted
+}
+
+fn bench_budget(c: &mut Criterion) {
+    c.bench_function("budget_consume_hot_path", |b| {
+        b.iter_batched(
+            || OverclockBudget::new(0.10, SimDuration::WEEK),
+            |mut budget| {
+                for m in 0..200u64 {
+                    let _ = black_box(
+                        budget.consume(SimTime::ZERO + SimDuration::from_minutes(m), SimDuration::from_minutes(1)),
+                    );
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let weekly = grant_fraction(SimDuration::WEEK);
+    let daily = grant_fraction(SimDuration::DAY);
+    println!(
+        "\n[ablation] weekday-peak demand granted: weekly epoch {:.1}% vs daily epoch {:.1}%",
+        weekly * 100.0,
+        daily * 100.0
+    );
+    assert!(
+        weekly >= daily,
+        "weekly epochs must serve at least as much weekday demand as daily epochs"
+    );
+}
+
+criterion_group!(benches, bench_budget);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! # soc-bench — experiment regenerators
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus Criterion
+//! micro-benchmarks (`benches/`). Every binary accepts:
+//!
+//! * `--seed <u64>` — RNG seed (default 42; results in EXPERIMENTS.md use
+//!   the default).
+//! * `--fast` — reduced scale for smoke runs.
+//! * `--csv <path>` — additionally write the table as CSV.
+//!
+//! This tiny library holds the shared CLI plumbing so the binaries stay
+//! focused on the experiment itself.
+
+use simcore::report::Table;
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cli {
+    /// RNG seed.
+    pub seed: u64,
+    /// Reduced-scale smoke run.
+    pub fast: bool,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli { seed: 42, fast: false, csv: None }
+    }
+}
+
+impl Cli {
+    /// Parse from `std::env::args`, ignoring unknown flags.
+    pub fn from_env() -> Cli {
+        Cli::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Cli {
+        let mut cli = Cli::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--seed" => {
+                    if let Some(v) = iter.next() {
+                        if let Ok(seed) = v.parse() {
+                            cli.seed = seed;
+                        }
+                    }
+                }
+                "--fast" => cli.fast = true,
+                "--csv" => cli.csv = iter.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        cli
+    }
+
+    /// Print the table with a heading and honor `--csv`.
+    pub fn emit(&self, heading: &str, table: &Table) {
+        println!("== {heading} ==");
+        println!("{}", table.render());
+        if let Some(path) = &self.csv {
+            if let Err(e) = std::fs::write(path, table.to_csv()) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+}
+
+/// Format a percentage delta `new` vs `old` (negative = reduction).
+pub fn pct_change(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", (new - old) / old * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]);
+        assert_eq!(cli.seed, 42);
+        assert!(!cli.fast);
+        assert!(cli.csv.is_none());
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = parse(&["--seed", "7", "--fast", "--csv", "/tmp/out.csv"]);
+        assert_eq!(cli.seed, 7);
+        assert!(cli.fast);
+        assert_eq!(cli.csv.unwrap().to_str().unwrap(), "/tmp/out.csv");
+    }
+
+    #[test]
+    fn ignores_unknown_and_bad_values() {
+        let cli = parse(&["--wat", "--seed", "notanumber"]);
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert_eq!(pct_change(100.0, 70.0), "-30.0%");
+        assert_eq!(pct_change(0.0, 1.0), "-");
+    }
+}

@@ -1,0 +1,36 @@
+//! # soc-cluster — experiment harnesses
+//!
+//! Binds the substrates (`soc-power`, `soc-workloads`, `soc-traces`,
+//! `soc-predict`, `soc-reliability`) and the `smartoclock` agents into the
+//! two evaluation tracks of the paper:
+//!
+//! * [`envs`] — single-service environment runners: *Baseline*, *Overclock*,
+//!   and *ScaleOut* (Figs. 2–3), plus the RPS-sweep used for the production
+//!   service results (Figs. 16–17).
+//! * [`harness`] — the closed-loop cluster simulation standing in for the
+//!   36-server overclockable cluster (§V-A): SocialNet instances with
+//!   latency-driven Workload Intelligence, MLTrain on the power-hungry
+//!   servers, rack power monitoring with warnings and prioritized capping,
+//!   autoscaling environments (*Baseline*, *ScaleOut*, *ScaleUp*,
+//!   *SmartOClock*, *NaiveOClock*), energy and cost accounting
+//!   (Figs. 12–14, power- and overclocking-constrained experiments).
+//! * [`largescale`] — the trace-driven discrete-event simulation of §V-B:
+//!   hundreds of racks replaying synthetic production traces under the five
+//!   policies of Table I, counting power-capping events, overclocking
+//!   success rates, capping penalties, and normalized performance.
+//! * [`ageing`] — the overclocking policies of Fig. 7 (non-overclocked,
+//!   always-overclock, overclock-aware) evaluated over a utilization trace
+//!   with the `soc-reliability` wear model.
+//! * [`datacenter`] — extension: the §IV-C budget split applied recursively
+//!   at the datacenter level (flat vs. nested enforcement on a shared feed).
+
+pub mod ageing;
+pub mod datacenter;
+pub mod envs;
+pub mod harness;
+pub mod largescale;
+pub mod largescale_metrics;
+
+pub use envs::{run_environment, Environment, ServiceRunResult};
+pub use harness::{ClusterConfig, ClusterResult, ClusterSim, SystemKind};
+pub use largescale::{LargeScaleConfig, PolicyMetrics, simulate_policy};

@@ -1,0 +1,51 @@
+//! # smartoclock — workload- and risk-aware overclocking management
+//!
+//! A from-scratch reproduction of **SmartOClock** (Stojkovic et al., ISCA
+//! 2024): the first distributed overclocking-management platform designed
+//! for cloud environments. The system is organized hierarchically (paper
+//! Fig. 10):
+//!
+//! * [`wi`] — **Workload Intelligence**: per-VM local agents collect metrics
+//!   (tail latency, CPU utilization) and a per-service global agent decides
+//!   when VMs need overclocking, using metrics-based and/or schedule-based
+//!   policies; on rejection it takes corrective action (scale-out).
+//! * [`soa`] — the **Server Overclocking Agent**: admission control against
+//!   power and lifetime predictions, the prioritized power feedback loop,
+//!   and the exploration/exploitation state machine that lets a server
+//!   safely exceed a stale budget (warnings + exponential backoff).
+//! * [`goa`] — the **Global Overclocking Agent**: aggregates server profiles
+//!   and splits the rack power limit *heterogeneously* according to past
+//!   overclocking demand (§IV-C's worked example is a doctest).
+//! * [`policy`] — the system variants evaluated in Table I: `Central`,
+//!   `NaiveOClock`, `NoFeedback`, `NoWarning`, and `SmartOClock`, expressed
+//!   as feature flags consumed by the agents and the cluster harness.
+//! * [`infer`] — overclocking-threshold inference from workload history
+//!   (§IV-A's adoption aid: "use P90 of historical value if overclocking can
+//!   be performed for 10% of the time").
+//! * [`messages`] — request/grant/signal types exchanged between the layers.
+//! * [`config`] — tunable constants with the paper's defaults (20 W explore
+//!   step, 30 s explore window, 95 % warning threshold, 15-minute
+//!   exhaustion window, 100 MHz frequency steps).
+//!
+//! The agents are deliberately I/O-free: they consume observations and emit
+//! commands, so the same code drives the real-time cluster harness
+//! (`soc-cluster`), the large-scale trace simulations, and the
+//! deployment-shaped threaded runtime ([`runtime`] — one sOA per thread
+//! behind message channels).
+
+pub mod config;
+pub mod goa;
+pub mod infer;
+pub mod messages;
+pub mod policy;
+pub mod runtime;
+pub mod soa;
+pub mod wi;
+
+pub use config::SoaConfig;
+pub use goa::{GlobalOverclockAgent, ServerProfile};
+pub use infer::{infer_trigger, InferenceConfig};
+pub use messages::{GrantId, OverclockRequest, RejectReason, SoaEvent};
+pub use policy::PolicyKind;
+pub use soa::ServerOverclockAgent;
+pub use wi::{GlobalWiAgent, MetricKind, OverclockPolicy, WiDecision};

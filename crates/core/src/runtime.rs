@@ -1,0 +1,326 @@
+//! Threaded rack runtime: one OS thread per Server Overclocking Agent.
+//!
+//! The paper's platform is distributed: every server runs its sOA locally
+//! and decisions stay local even when the gOA is unreachable (§III-Q5,
+//! "a decentralized approach ... improves fault tolerance"). The simulation
+//! harnesses drive the agents synchronously for determinism; this module is
+//! the deployment-shaped runtime — each sOA lives on its own thread behind
+//! a message channel, exactly how a per-server daemon would embed the agent.
+//!
+//! The runtime demonstrates two properties the library guarantees:
+//!
+//! * agents are `Send` — they can be moved onto worker threads;
+//! * all coordination is message-passing (requests, control ticks, budget
+//!   pushes, emitted events), so a dead gOA merely stops budget refreshes
+//!   while admission keeps working against the last assignment.
+
+use crate::config::SoaConfig;
+use crate::messages::{GrantId, OverclockRequest, RejectReason, SoaEvent};
+use crate::policy::PolicyKind;
+use crate::soa::{ServerOverclockAgent, SoaStats};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use simcore::time::SimTime;
+use soc_power::model::PowerModel;
+use soc_power::rack::RackSignal;
+use soc_power::units::Watts;
+use soc_predict::template::PowerTemplate;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Messages accepted by an agent thread.
+enum AgentMsg {
+    Request {
+        now: SimTime,
+        request: OverclockRequest,
+        reply: Sender<Result<GrantId, RejectReason>>,
+    },
+    End {
+        now: SimTime,
+        grant: GrantId,
+    },
+    Tick {
+        now: SimTime,
+        measured: Watts,
+        signal: Option<RackSignal>,
+    },
+    SetBudget(Watts),
+    SetTemplate(Box<PowerTemplate>),
+    Shutdown,
+}
+
+/// A rack of sOA threads plus an event stream.
+///
+/// ```
+/// use smartoclock::runtime::RackRuntime;
+/// use smartoclock::messages::OverclockRequest;
+/// use smartoclock::policy::PolicyKind;
+/// use smartoclock::config::SoaConfig;
+/// use soc_power::model::PowerModel;
+/// use soc_power::units::{MegaHertz, Watts};
+/// use simcore::time::SimTime;
+///
+/// let mut rack = RackRuntime::start(
+///     4,
+///     PowerModel::reference_server(),
+///     SoaConfig::reference(),
+///     PolicyKind::SmartOClock,
+/// );
+/// rack.set_budget(0, Watts::new(400.0));
+/// let req = OverclockRequest::metrics_based("vm", 4, MegaHertz::new(4000));
+/// let grant = rack.request(0, SimTime::ZERO, req).expect("fits under 400W");
+/// rack.end(0, SimTime::from_secs(60), grant);
+/// rack.shutdown();
+/// ```
+pub struct RackRuntime {
+    senders: Vec<Sender<AgentMsg>>,
+    handles: Vec<JoinHandle<()>>,
+    events_rx: Receiver<(usize, SoaEvent)>,
+    stats: Arc<Mutex<Vec<SoaStats>>>,
+}
+
+impl RackRuntime {
+    /// Spawn `servers` agent threads.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0` or the configuration is invalid.
+    pub fn start(
+        servers: usize,
+        model: PowerModel,
+        config: SoaConfig,
+        policy: PolicyKind,
+    ) -> RackRuntime {
+        assert!(servers > 0, "need at least one server");
+        let (events_tx, events_rx) = unbounded();
+        let stats = Arc::new(Mutex::new(vec![SoaStats::default(); servers]));
+        let mut senders = Vec::with_capacity(servers);
+        let mut handles = Vec::with_capacity(servers);
+        for index in 0..servers {
+            let (tx, rx) = unbounded::<AgentMsg>();
+            let events_tx = events_tx.clone();
+            let stats = Arc::clone(&stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("soa-{index}"))
+                .spawn(move || {
+                    let mut agent = ServerOverclockAgent::new(model, config, policy);
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            AgentMsg::Request { now, request, reply } => {
+                                let _ = reply.send(agent.request_overclock(now, request));
+                            }
+                            AgentMsg::End { now, grant } => {
+                                let _ = agent.end_overclock(now, grant);
+                            }
+                            AgentMsg::Tick { now, measured, signal } => {
+                                for event in agent.control_tick(now, measured, signal) {
+                                    let _ = events_tx.send((index, event));
+                                }
+                                stats.lock()[index] = agent.stats();
+                            }
+                            AgentMsg::SetBudget(b) => agent.set_power_budget(b),
+                            AgentMsg::SetTemplate(t) => agent.set_power_template(*t),
+                            AgentMsg::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("spawn agent thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        RackRuntime { senders, handles, events_rx, stats }
+    }
+
+    /// Number of agent threads.
+    pub fn servers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Submit an overclocking request to server `index` and wait for the
+    /// admission decision.
+    ///
+    /// # Errors
+    /// Returns the agent's [`RejectReason`] when admission fails.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the agent thread is gone.
+    pub fn request(
+        &self,
+        index: usize,
+        now: SimTime,
+        request: OverclockRequest,
+    ) -> Result<GrantId, RejectReason> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.senders[index]
+            .send(AgentMsg::Request { now, request, reply: reply_tx })
+            .expect("agent thread is alive");
+        reply_rx.recv().expect("agent replies to requests")
+    }
+
+    /// Release a grant on server `index` (fire-and-forget).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the agent thread is gone.
+    pub fn end(&self, index: usize, now: SimTime, grant: GrantId) {
+        self.senders[index]
+            .send(AgentMsg::End { now, grant })
+            .expect("agent thread is alive");
+    }
+
+    /// Push a budget assignment (the gOA's role).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the agent thread is gone.
+    pub fn set_budget(&self, index: usize, budget: Watts) {
+        self.senders[index]
+            .send(AgentMsg::SetBudget(budget))
+            .expect("agent thread is alive");
+    }
+
+    /// Push a power template to server `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the agent thread is gone.
+    pub fn set_template(&self, index: usize, template: PowerTemplate) {
+        self.senders[index]
+            .send(AgentMsg::SetTemplate(Box::new(template)))
+            .expect("agent thread is alive");
+    }
+
+    /// Broadcast one control tick with per-server measured draws.
+    ///
+    /// # Panics
+    /// Panics if `measured.len()` differs from the server count.
+    pub fn tick_all(&self, now: SimTime, measured: &[Watts], signal: Option<RackSignal>) {
+        assert_eq!(measured.len(), self.servers(), "one measurement per server");
+        for (tx, &m) in self.senders.iter().zip(measured) {
+            tx.send(AgentMsg::Tick { now, measured: m, signal })
+                .expect("agent thread is alive");
+        }
+    }
+
+    /// Drain all events emitted since the last drain. Does not block.
+    pub fn drain_events(&self) -> Vec<(usize, SoaEvent)> {
+        self.events_rx.try_iter().collect()
+    }
+
+    /// Snapshot of per-agent statistics (updated at each tick).
+    pub fn stats(&self) -> Vec<SoaStats> {
+        self.stats.lock().clone()
+    }
+
+    /// Stop all agent threads and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(AgentMsg::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RackRuntime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+    use soc_power::units::MegaHertz;
+
+    fn runtime(n: usize) -> RackRuntime {
+        let rt = RackRuntime::start(
+            n,
+            PowerModel::reference_server(),
+            SoaConfig::reference(),
+            PolicyKind::SmartOClock,
+        );
+        for i in 0..n {
+            rt.set_budget(i, Watts::new(450.0));
+        }
+        rt
+    }
+
+    fn oc_request() -> OverclockRequest {
+        OverclockRequest::metrics_based("vm", 8, MegaHertz::new(4000))
+    }
+
+    #[test]
+    fn request_roundtrip_through_thread() {
+        let rt = runtime(2);
+        let grant = rt.request(0, SimTime::ZERO, oc_request()).expect("headroom");
+        rt.end(0, SimTime::from_secs(10), grant);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ticks_emit_frequency_events() {
+        let rt = runtime(1);
+        let _ = rt.request(0, SimTime::ZERO, oc_request()).unwrap();
+        for s in 1..=5u64 {
+            rt.tick_all(SimTime::from_secs(s), &[Watts::new(300.0)], None);
+        }
+        // Give the thread a moment to process, then drain.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let events = rt.drain_events();
+        assert!(
+            events.iter().any(|(_, e)| matches!(e, SoaEvent::SetFrequency { .. })),
+            "feedback loop should ramp the grant: {events:?}"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stats_snapshot_reflects_requests() {
+        let rt = runtime(3);
+        let _ = rt.request(1, SimTime::ZERO, oc_request()).unwrap();
+        rt.tick_all(SimTime::from_secs(1), &[Watts::new(200.0); 3], None);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let stats = rt.stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[1].requests, 1);
+        assert_eq!(stats[1].granted, 1);
+        assert_eq!(stats[0].requests, 0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn agents_work_without_budget_refreshes() {
+        // Decentralization: no gOA messages after startup — admission still
+        // works against the last assignment.
+        let rt = runtime(1);
+        for k in 0..5 {
+            let t = SimTime::ZERO + SimDuration::from_minutes(k);
+            let grant = rt.request(0, t, oc_request()).expect("local decisions keep working");
+            rt.end(0, t + SimDuration::from_secs(30), grant);
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_threads() {
+        let rt = runtime(4);
+        drop(rt); // must not hang or panic
+    }
+
+    #[test]
+    fn rejects_propagate_through_channel() {
+        let rt = RackRuntime::start(
+            1,
+            PowerModel::reference_server(),
+            SoaConfig::reference(),
+            PolicyKind::SmartOClock,
+        );
+        rt.set_budget(0, Watts::new(10.0)); // far below any regular draw
+        let err = rt.request(0, SimTime::ZERO, oc_request()).unwrap_err();
+        assert_eq!(err, RejectReason::PowerBudget);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,1066 @@
+//! The Server Overclocking Agent (sOA).
+//!
+//! Implements the per-server half of SmartOClock (paper §IV-B and §IV-D,
+//! Fig. 11):
+//!
+//! * **Admission control** — an incoming request is granted only if (a) the
+//!   per-epoch overclocking lifetime budget can cover it, (b) enough cores
+//!   have per-core time-in-state budget, and (c) the predicted server power
+//!   (template) plus the overclocking delta fits under the server's power
+//!   budget.
+//! * **Prioritized feedback loop** — every control tick compares the
+//!   measured draw against the effective budget and moves one grant's
+//!   frequency a step up (highest priority first) or down (lowest priority
+//!   first), holding inside the `[budget − buffer, budget)` band.
+//! * **Exploration/exploitation** — when constrained, the sOA conditionally
+//!   raises its own budget in 20 W steps; a rack *warning* during
+//!   exploration makes it retreat one step and back off exponentially; a
+//!   *capping event* resets it to the assigned budget. After a safe
+//!   exploration window it *exploits* the discovered budget for a while.
+//! * **Exhaustion prediction** — using its power template and lifetime
+//!   budget, the sOA warns the WI agent when either resource will run out
+//!   within the configured window, enabling proactive scale-out.
+
+use crate::config::SoaConfig;
+use crate::messages::{
+    ExhaustedResource, GrantEndReason, GrantId, OverclockRequest, RejectReason, SoaEvent,
+};
+use crate::policy::PolicyKind;
+use simcore::time::{SimDuration, SimTime};
+use soc_power::model::PowerModel;
+use soc_power::rack::RackSignal;
+use soc_power::units::{MegaHertz, Watts};
+use soc_predict::template::PowerTemplate;
+use soc_reliability::budget::OverclockBudget;
+use soc_reliability::tracker::TimeInState;
+use std::collections::BTreeMap;
+
+/// An active overclocking grant.
+#[derive(Debug, Clone)]
+pub struct Grant {
+    /// The original request.
+    pub request: OverclockRequest,
+    /// The physical cores assigned.
+    pub cores: Vec<usize>,
+    /// The currently commanded frequency.
+    pub current: MegaHertz,
+    /// When the grant started.
+    pub started: SimTime,
+    /// For scheduled grants, when the reservation runs out.
+    pub ends_at: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Idle,
+    Exploring { since: SimTime },
+    Exploiting { until: SimTime },
+    BackedOff { until: SimTime },
+}
+
+#[derive(Debug, Clone)]
+struct Explorer {
+    phase: Phase,
+    extra: Watts,
+    backoff: SimDuration,
+}
+
+/// Cumulative counters for evaluation (Table I columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoaStats {
+    /// Requests received.
+    pub requests: u64,
+    /// Requests granted.
+    pub granted: u64,
+    /// Warnings acted upon (exploration retreats).
+    pub warning_retreats: u64,
+    /// Capping events observed.
+    pub capping_resets: u64,
+}
+
+/// The per-server overclocking agent.
+///
+/// ```
+/// use smartoclock::soa::ServerOverclockAgent;
+/// use smartoclock::messages::OverclockRequest;
+/// use smartoclock::policy::PolicyKind;
+/// use smartoclock::config::SoaConfig;
+/// use soc_power::model::PowerModel;
+/// use soc_power::units::{MegaHertz, Watts};
+/// use simcore::time::SimTime;
+///
+/// let model = PowerModel::reference_server();
+/// let mut soa = ServerOverclockAgent::new(model, SoaConfig::reference(), PolicyKind::SmartOClock);
+/// soa.set_power_budget(Watts::new(500.0));
+/// let req = OverclockRequest::metrics_based("vm0", 8, MegaHertz::new(4000));
+/// let grant = soa.request_overclock(SimTime::ZERO, req).expect("plenty of headroom");
+/// assert!(soa.grant(grant).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerOverclockAgent {
+    model: PowerModel,
+    config: SoaConfig,
+    policy: PolicyKind,
+    assigned_budget: Watts,
+    template: Option<PowerTemplate>,
+    lifetime: OverclockBudget,
+    tracker: TimeInState,
+    tracker_epoch: u64,
+    grants: BTreeMap<GrantId, Grant>,
+    next_grant: u64,
+    explorer: Explorer,
+    last_tick: Option<SimTime>,
+    last_measured: Option<Watts>,
+    power_rejected: bool,
+    last_power_warning_eta: Option<SimTime>,
+    last_lifetime_warning_eta: Option<SimTime>,
+    stats: SoaStats,
+}
+
+impl ServerOverclockAgent {
+    /// Create an agent for a server described by `model`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(model: PowerModel, config: SoaConfig, policy: PolicyKind) -> ServerOverclockAgent {
+        config.validate();
+        let lifetime = OverclockBudget::new(config.overclock_time_fraction, config.epoch);
+        let per_core_cap = config.epoch.mul_f64(config.overclock_time_fraction);
+        ServerOverclockAgent {
+            tracker: TimeInState::new(model.cores(), per_core_cap),
+            model,
+            config,
+            policy,
+            assigned_budget: Watts::ZERO,
+            template: None,
+            lifetime,
+            tracker_epoch: 0,
+            grants: BTreeMap::new(),
+            next_grant: 0,
+            explorer: Explorer {
+                phase: Phase::Idle,
+                extra: Watts::ZERO,
+                backoff: config.backoff_initial,
+            },
+            last_tick: None,
+            last_measured: None,
+            power_rejected: false,
+            last_power_warning_eta: None,
+            last_lifetime_warning_eta: None,
+            stats: SoaStats::default(),
+        }
+    }
+
+    /// The policy this agent runs.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// The power model.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SoaStats {
+        self.stats
+    }
+
+    /// The budget assigned by the gOA.
+    pub fn assigned_budget(&self) -> Watts {
+        self.assigned_budget
+    }
+
+    /// Assign a new power budget (from the gOA's heterogeneous split).
+    /// Resets any exploration on top of the old budget.
+    pub fn set_power_budget(&mut self, budget: Watts) {
+        self.assigned_budget = budget.clamp_non_negative();
+        self.explorer.extra = Watts::ZERO;
+        self.explorer.phase = Phase::Idle;
+    }
+
+    /// The budget the feedback loop currently enforces: assigned plus any
+    /// exploration extra.
+    pub fn effective_budget(&self) -> Watts {
+        self.assigned_budget + self.explorer.extra
+    }
+
+    /// Install the server's regular-power template (rebuilt weekly, §IV-B).
+    pub fn set_power_template(&mut self, template: PowerTemplate) {
+        self.template = Some(template);
+    }
+
+    /// Scale the lifetime budget (overclocking-constrained experiments).
+    pub fn scale_lifetime_budget(&mut self, scale: f64) {
+        self.lifetime.scale_fraction(scale);
+        let cap = self.config.epoch.mul_f64(self.lifetime.fraction());
+        self.tracker.set_per_core_cap(cap);
+    }
+
+    /// Remaining lifetime budget this epoch.
+    pub fn lifetime_remaining(&self) -> SimDuration {
+        self.lifetime.remaining()
+    }
+
+    /// Look up an active grant.
+    pub fn grant(&self, id: GrantId) -> Option<&Grant> {
+        self.grants.get(&id)
+    }
+
+    /// Iterate over active grants.
+    pub fn grants(&self) -> impl Iterator<Item = (GrantId, &Grant)> {
+        self.grants.iter().map(|(&id, g)| (id, g))
+    }
+
+    /// Number of currently overclocked cores (commanded above turbo).
+    pub fn overclocked_cores(&self) -> usize {
+        let turbo = self.model.plan().turbo();
+        self.grants
+            .values()
+            .filter(|g| g.current > turbo)
+            .map(|g| g.cores.len())
+            .sum()
+    }
+
+    /// Predicted *extra* power demand of all active grants at their targets.
+    pub fn overclock_demand(&self) -> Watts {
+        self.grants
+            .values()
+            .map(|g| {
+                self.model.overclock_delta(
+                    g.request.expected_utilization,
+                    g.cores.len(),
+                    g.request.target,
+                )
+            })
+            .sum()
+    }
+
+    /// Process an overclocking request (admission control, §IV-B).
+    ///
+    /// # Errors
+    /// Returns the [`RejectReason`] when admission fails. NaiveOClock never
+    /// rejects for power/lifetime (only for malformed requests).
+    pub fn request_overclock(
+        &mut self,
+        now: SimTime,
+        request: OverclockRequest,
+    ) -> Result<GrantId, RejectReason> {
+        self.stats.requests += 1;
+        self.roll_epoch(now);
+        // Structural validation applies to every policy.
+        if request.cores == 0
+            || request.cores > self.model.cores()
+            || request.target <= self.model.plan().turbo()
+            || !(0.0..=1.0).contains(&request.expected_utilization)
+        {
+            return Err(RejectReason::Invalid);
+        }
+        let checked = self.policy.admission_checked();
+        // Lifetime budget.
+        let reservation = request.duration;
+        if checked {
+            match reservation {
+                Some(d) => {
+                    if self.lifetime.remaining() < d {
+                        return Err(RejectReason::LifetimeBudget);
+                    }
+                }
+                None => {
+                    if self.lifetime.remaining().is_zero() {
+                        return Err(RejectReason::LifetimeBudget);
+                    }
+                }
+            }
+        }
+        // Core selection.
+        let per_core_need = reservation.unwrap_or(SimDuration::from_minutes(5));
+        let cores = if checked {
+            let picked = self.tracker.pick_cores(request.cores, per_core_need);
+            if picked.len() < request.cores {
+                return Err(RejectReason::CoreBudget);
+            }
+            picked
+        } else {
+            (0..request.cores).collect()
+        };
+        // Power admission.
+        if checked && !self.power_fits(now, &request) {
+            // Remember the unmet demand: the exploration loop may grow the
+            // budget so a retried request fits ("the sOA can independently
+            // explore a higher budget to maximize overclocking", §IV-D).
+            self.power_rejected = true;
+            return Err(RejectReason::PowerBudget);
+        }
+        // Commit: reserve lifetime budget for scheduled requests.
+        if checked {
+            if let Some(d) = reservation {
+                self.lifetime
+                    .reserve(now, d)
+                    .map_err(|_| RejectReason::LifetimeBudget)?;
+            }
+        }
+        let id = GrantId(self.next_grant);
+        self.next_grant += 1;
+        let start_freq = self.model.plan().step_up(self.model.plan().turbo());
+        self.grants.insert(
+            id,
+            Grant {
+                ends_at: reservation.map(|d| now + d),
+                cores,
+                current: start_freq,
+                started: now,
+                request,
+            },
+        );
+        self.stats.granted += 1;
+        Ok(id)
+    }
+
+    /// Predicted-regular-power + active-OC + new-request fits under budget?
+    fn power_fits(&self, now: SimTime, request: &OverclockRequest) -> bool {
+        let regular = self.predict_regular(now);
+        let active = self.overclock_demand();
+        let extra = self.model.overclock_delta(
+            request.expected_utilization,
+            request.cores,
+            request.target,
+        );
+        regular + active + extra <= self.effective_budget()
+    }
+
+    fn predict_regular(&self, now: SimTime) -> Watts {
+        match &self.template {
+            Some(t) => Watts::new(t.predict(now)),
+            // Without a template yet (first week of operation), fall back to
+            // the latest measured draw net of active overclocking, or a
+            // conservative mid-load guess before any measurement.
+            None => match self.last_measured {
+                Some(measured) => (measured - self.overclock_demand()).clamp_non_negative(),
+                None => self.model.server_power_uniform(0.5, self.model.plan().turbo()),
+            },
+        }
+    }
+
+    /// Release a grant (workload no longer needs overclocking).
+    ///
+    /// For scheduled grants ended early, the unconsumed tail of the
+    /// reservation (from `now` to the scheduled end) is returned to the
+    /// budget.
+    ///
+    /// Returns `false` if the grant does not exist.
+    pub fn end_overclock(&mut self, now: SimTime, id: GrantId) -> bool {
+        if let Some(grant) = self.grants.remove(&id) {
+            if let Some(ends_at) = grant.ends_at {
+                if ends_at > now {
+                    let _ = self.lifetime.release(ends_at.since(now));
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One control-loop iteration (§IV-D). `measured_power` is the server's
+    /// current draw; `signal` is the latest rack-manager message, if any.
+    /// Returns the events the platform must apply/forward.
+    pub fn control_tick(
+        &mut self,
+        now: SimTime,
+        measured_power: Watts,
+        signal: Option<RackSignal>,
+    ) -> Vec<SoaEvent> {
+        let mut events = Vec::new();
+        self.roll_epoch(now);
+        let dt = match self.last_tick {
+            Some(last) => now.saturating_since(last),
+            None => SimDuration::ZERO,
+        };
+        self.last_tick = Some(now);
+        self.last_measured = Some(measured_power);
+
+        self.account_time(now, dt, &mut events);
+        self.expire_schedules(now, &mut events);
+        self.handle_signal(now, signal);
+        self.feedback_step(measured_power, &mut events);
+        self.explore_step(now, measured_power);
+        self.power_rejected = false;
+        self.predict_exhaustion(now, &mut events);
+        events
+    }
+
+    /// Charge elapsed overclocked time to the lifetime budget and per-core
+    /// counters; migrate or end grants whose cores are exhausted.
+    fn account_time(&mut self, now: SimTime, dt: SimDuration, events: &mut Vec<SoaEvent>) {
+        if dt.is_zero() {
+            return;
+        }
+        let turbo = self.model.plan().turbo();
+        let active: Vec<GrantId> = self
+            .grants
+            .iter()
+            .filter(|(_, g)| g.current > turbo)
+            .map(|(&id, _)| id)
+            .collect();
+        if active.is_empty() {
+            return;
+        }
+        // Per-core accounting.
+        for id in &active {
+            let cores = self.grants[id].cores.clone();
+            for core in cores {
+                self.tracker.record(core, dt);
+            }
+        }
+        // Server-level budget: the wall-clock interval counts once.
+        let scheduled_active =
+            active.iter().any(|id| self.grants[id].ends_at.is_some());
+        let consumed = if scheduled_active {
+            self.lifetime
+                .consume_reserved(now, dt)
+                .or_else(|_| self.lifetime.consume(now, dt))
+        } else {
+            self.lifetime.consume(now, dt)
+        };
+        if consumed.is_err() && self.policy.admission_checked() {
+            // Budget ran dry mid-grant: stop all overclocking.
+            for id in active {
+                if self.grants.remove(&id).is_some() {
+                    events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+                    events.push(SoaEvent::GrantEnded {
+                        grant: id,
+                        reason: GrantEndReason::LifetimeBudgetExhausted,
+                    });
+                }
+            }
+            return;
+        }
+        // Core exhaustion: migrate to fresh cores or end the grant (§IV-D).
+        let need = SimDuration::from_minutes(5);
+        let exhausted: Vec<GrantId> = self
+            .grants
+            .iter()
+            .filter(|(_, g)| {
+                g.current > turbo && g.cores.iter().any(|&c| !self.tracker.has_budget(c, need))
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in exhausted {
+            if !self.policy.admission_checked() {
+                continue; // Naive policy never migrates or stops.
+            }
+            let n = self.grants[&id].cores.len();
+            let fresh = self.tracker.pick_cores(n, need);
+            if fresh.len() == n {
+                self.grants.get_mut(&id).expect("grant exists").cores = fresh;
+            } else if self.grants.remove(&id).is_some() {
+                events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+                events.push(SoaEvent::GrantEnded {
+                    grant: id,
+                    reason: GrantEndReason::LifetimeBudgetExhausted,
+                });
+            }
+        }
+    }
+
+    fn expire_schedules(&mut self, now: SimTime, events: &mut Vec<SoaEvent>) {
+        let done: Vec<GrantId> = self
+            .grants
+            .iter()
+            .filter(|(_, g)| g.ends_at.is_some_and(|e| now >= e))
+            .map(|(&id, _)| id)
+            .collect();
+        let turbo = self.model.plan().turbo();
+        for id in done {
+            self.grants.remove(&id);
+            events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+            events.push(SoaEvent::GrantEnded {
+                grant: id,
+                reason: GrantEndReason::ScheduleComplete,
+            });
+        }
+    }
+
+    fn handle_signal(&mut self, now: SimTime, signal: Option<RackSignal>) {
+        match signal {
+            Some(RackSignal::Capping) => {
+                // Back to the initial assignment (§IV-D "On a power capping
+                // event, the sOA goes back to its initial power budget"),
+                // and hold off before exploring again.
+                self.stats.capping_resets += 1;
+                self.explorer.extra = Watts::ZERO;
+                let until = now + self.explorer.backoff;
+                self.explorer.backoff = (self.explorer.backoff * 2).min(self.config.backoff_max);
+                self.explorer.phase = Phase::BackedOff { until };
+            }
+            Some(RackSignal::Warning) => {
+                let exploring = matches!(self.explorer.phase, Phase::Exploring { .. });
+                if exploring && self.policy.heeds_warnings() {
+                    self.stats.warning_retreats += 1;
+                    self.explorer.extra = (self.explorer.extra - self.config.explore_step)
+                        .clamp_non_negative();
+                    let until = now + self.explorer.backoff;
+                    self.explorer.backoff =
+                        (self.explorer.backoff * 2).min(self.config.backoff_max);
+                    self.explorer.phase = Phase::BackedOff { until };
+                }
+                // "An sOA ignores the message if it is not exploring."
+            }
+            Some(RackSignal::Normal) | None => {}
+        }
+    }
+
+    /// One step of the prioritized frequency feedback loop.
+    fn feedback_step(&mut self, measured: Watts, events: &mut Vec<SoaEvent>) {
+        if self.grants.is_empty() {
+            return;
+        }
+        let plan = self.model.plan();
+        let turbo = plan.turbo();
+        let limit = self.effective_budget();
+        let threshold = (limit - self.config.power_buffer).clamp_non_negative();
+        if measured >= limit {
+            // Throttle the lowest-priority overclocked grant one step.
+            if let Some((&id, _)) = self
+                .grants
+                .iter()
+                .filter(|(_, g)| g.current > turbo)
+                .min_by_key(|(&id, g)| (g.request.priority, id))
+            {
+                let g = self.grants.get_mut(&id).expect("grant exists");
+                g.current = plan.step_down(g.current).max(turbo);
+                events.push(SoaEvent::SetFrequency { grant: id, frequency: g.current });
+            }
+        } else if measured < threshold {
+            // Boost the highest-priority grant still below target.
+            if let Some((&id, _)) = self
+                .grants
+                .iter()
+                .filter(|(_, g)| g.current < g.request.target.min(plan.max_overclock()))
+                .max_by_key(|(&id, g)| (g.request.priority, std::cmp::Reverse(id)))
+            {
+                let g = self.grants.get_mut(&id).expect("grant exists");
+                g.current = plan.step_up(g.current).min(g.request.target);
+                events.push(SoaEvent::SetFrequency { grant: id, frequency: g.current });
+            }
+        }
+        // Inside the hold band: do nothing.
+    }
+
+    /// Exploration/exploitation phase transitions (§IV-D).
+    fn explore_step(&mut self, now: SimTime, measured: Watts) {
+        if !self.policy.explores() {
+            return;
+        }
+        let limit = self.effective_budget();
+        let threshold = (limit - self.config.power_buffer).clamp_non_negative();
+        let plan = self.model.plan();
+        let constrained = (measured >= threshold
+            && self
+                .grants
+                .values()
+                .any(|g| g.current < g.request.target.min(plan.max_overclock())))
+            || self.power_rejected;
+        match self.explorer.phase {
+            Phase::Idle => {
+                if constrained && self.explorer.extra < self.config.explore_cap {
+                    self.explorer.extra =
+                        (self.explorer.extra + self.config.explore_step).min(self.config.explore_cap);
+                    self.explorer.phase = Phase::Exploring { since: now };
+                }
+            }
+            Phase::Exploring { since } => {
+                if now.saturating_since(since) >= self.config.explore_wait {
+                    // No warning arrived during the window: safe so far.
+                    if constrained && self.explorer.extra < self.config.explore_cap {
+                        self.explorer.extra = (self.explorer.extra + self.config.explore_step)
+                            .min(self.config.explore_cap);
+                        self.explorer.phase = Phase::Exploring { since: now };
+                    } else {
+                        self.explorer.phase =
+                            Phase::Exploiting { until: now + self.config.exploit_time };
+                        self.explorer.backoff = self.config.backoff_initial;
+                    }
+                }
+            }
+            Phase::Exploiting { until } => {
+                if now >= until {
+                    self.explorer.phase = Phase::Idle;
+                }
+            }
+            Phase::BackedOff { until } => {
+                if now >= until {
+                    self.explorer.phase = Phase::Idle;
+                }
+            }
+        }
+    }
+
+    /// Emit exhaustion warnings when power or lifetime will run out within
+    /// the configured window (§IV-D, Fig. 11).
+    fn predict_exhaustion(&mut self, now: SimTime, events: &mut Vec<SoaEvent>) {
+        // Lifetime: only relevant while actively overclocking.
+        if !self.grants.is_empty() {
+            if let Some(remaining) = self.lifetime.time_to_exhaustion(now) {
+                if remaining <= self.config.exhaustion_window {
+                    let eta = now + remaining;
+                    if self.last_lifetime_warning_eta != Some(eta) {
+                        self.last_lifetime_warning_eta = Some(eta);
+                        events.push(SoaEvent::ExhaustionWarning {
+                            resource: ExhaustedResource::Lifetime,
+                            eta,
+                        });
+                    }
+                }
+            } else {
+                let eta = now;
+                if self.last_lifetime_warning_eta != Some(eta) {
+                    self.last_lifetime_warning_eta = Some(eta);
+                    events.push(SoaEvent::ExhaustionWarning {
+                        resource: ExhaustedResource::Lifetime,
+                        eta,
+                    });
+                }
+            }
+        }
+        // Power: find when predicted regular power + OC demand exceeds the
+        // budget within the window.
+        if let Some(template) = &self.template {
+            let demand = self.overclock_demand();
+            if demand > Watts::ZERO {
+                let budget = self.effective_budget();
+                let threshold = (budget - demand).get();
+                if let Some(eta) =
+                    template.next_time_at_or_above(now, threshold, self.config.exhaustion_window)
+                {
+                    if self.last_power_warning_eta != Some(eta) {
+                        self.last_power_warning_eta = Some(eta);
+                        events.push(SoaEvent::ExhaustionWarning {
+                            resource: ExhaustedResource::Power,
+                            eta,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn roll_epoch(&mut self, now: SimTime) {
+        self.lifetime.advance_to(now);
+        let epoch = now.as_micros() / self.config.epoch.as_micros();
+        if epoch != self.tracker_epoch {
+            self.tracker.reset();
+            self.tracker_epoch = epoch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::series::TimeSeries;
+    use soc_predict::template::TemplateKind;
+
+    fn agent(policy: PolicyKind) -> ServerOverclockAgent {
+        let mut a =
+            ServerOverclockAgent::new(PowerModel::reference_server(), SoaConfig::reference(), policy);
+        a.set_power_budget(Watts::new(450.0));
+        a
+    }
+
+    fn oc_request(cores: usize) -> OverclockRequest {
+        OverclockRequest::metrics_based("vm", cores, MegaHertz::new(4000))
+    }
+
+    fn flat_template(watts: f64) -> PowerTemplate {
+        let hist = TimeSeries::generate(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::WEEK,
+            SimDuration::from_minutes(5),
+            |_| watts,
+        );
+        PowerTemplate::build(&hist, TemplateKind::DailyMed)
+    }
+
+    #[test]
+    fn grants_when_headroom_exists() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(250.0));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        assert_eq!(a.grants().count(), 1);
+        assert_eq!(a.grant(id).unwrap().cores.len(), 8);
+        assert_eq!(a.stats().granted, 1);
+    }
+
+    #[test]
+    fn rejects_on_power_budget() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(440.0)); // barely under the 450W budget
+        let err = a.request_overclock(SimTime::ZERO, oc_request(32)).unwrap_err();
+        assert_eq!(err, RejectReason::PowerBudget);
+    }
+
+    #[test]
+    fn naive_policy_grants_despite_power() {
+        let mut a = agent(PolicyKind::NaiveOClock);
+        a.set_power_template(flat_template(440.0));
+        assert!(a.request_overclock(SimTime::ZERO, oc_request(32)).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        let mut bad = oc_request(0);
+        assert_eq!(a.request_overclock(SimTime::ZERO, bad.clone()).unwrap_err(), RejectReason::Invalid);
+        bad = oc_request(4);
+        bad.target = MegaHertz::new(3300); // not above turbo
+        assert_eq!(a.request_overclock(SimTime::ZERO, bad).unwrap_err(), RejectReason::Invalid);
+    }
+
+    #[test]
+    fn scheduled_requests_reserve_lifetime_budget() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let before = a.lifetime_remaining();
+        let req = OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(2));
+        a.request_overclock(SimTime::ZERO, req).unwrap();
+        assert_eq!(before - a.lifetime_remaining(), SimDuration::from_hours(2));
+    }
+
+    #[test]
+    fn rejects_scheduled_request_exceeding_budget() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        // Weekly budget is 16.8h; ask for 20h.
+        let req = OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(20));
+        assert_eq!(
+            a.request_overclock(SimTime::ZERO, req).unwrap_err(),
+            RejectReason::LifetimeBudget
+        );
+    }
+
+    #[test]
+    fn feedback_ramps_frequency_up_to_target() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        // Plenty of headroom: each tick should raise by one step.
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_secs(1);
+            let _ = a.control_tick(t, Watts::new(250.0), None);
+        }
+        assert_eq!(a.grant(id).unwrap().current, MegaHertz::new(4000));
+    }
+
+    #[test]
+    fn feedback_throttles_when_over_budget() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_secs(1);
+            let _ = a.control_tick(t, Watts::new(250.0), None);
+        }
+        let high = a.grant(id).unwrap().current;
+        // Now report draw above the budget.
+        t += SimDuration::from_secs(1);
+        let events = a.control_tick(t, Watts::new(460.0), None);
+        let lower = a.grant(id).unwrap().current;
+        assert!(lower < high, "must throttle: {high} -> {lower}");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SoaEvent::SetFrequency { frequency, .. } if *frequency == lower)));
+    }
+
+    #[test]
+    fn feedback_prioritizes_important_grants() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let mut low = oc_request(4);
+        low.priority = 1;
+        low.vm = "low".into();
+        let mut high = oc_request(4);
+        high.priority = 9;
+        high.vm = "high".into();
+        let id_low = a.request_overclock(SimTime::ZERO, low).unwrap();
+        let id_high = a.request_overclock(SimTime::ZERO, high).unwrap();
+        // One boost step with headroom goes to the high-priority grant.
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(250.0), None);
+        assert!(a.grant(id_high).unwrap().current > a.grant(id_low).unwrap().current);
+        // Over budget: the low-priority grant is throttled first.
+        let _ = a.control_tick(SimTime::from_secs(2), Watts::new(500.0), None);
+        let turbo = a.model().plan().turbo();
+        assert_eq!(a.grant(id_low).unwrap().current, turbo);
+    }
+
+    #[test]
+    fn exploration_raises_effective_budget_when_constrained() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(300.0));
+        a.set_power_template(flat_template(200.0));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        // Draw pinned at the budget: constrained, so exploration begins.
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
+        assert!(a.effective_budget() > Watts::new(300.0));
+    }
+
+    #[test]
+    fn warning_during_exploration_retreats_and_backs_off() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(300.0));
+        a.set_power_template(flat_template(200.0));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
+        let explored = a.effective_budget();
+        assert!(explored > Watts::new(300.0));
+        // Warning arrives while exploring: retreat one step.
+        let _ = a.control_tick(SimTime::from_secs(2), Watts::new(310.0), Some(RackSignal::Warning));
+        assert_eq!(a.effective_budget(), Watts::new(300.0));
+        assert_eq!(a.stats().warning_retreats, 1);
+        // Backed off: no immediate re-exploration.
+        let _ = a.control_tick(SimTime::from_secs(3), Watts::new(299.0), None);
+        assert_eq!(a.effective_budget(), Watts::new(300.0));
+        // After the backoff expires, exploration resumes.
+        let _ = a.control_tick(SimTime::from_secs(120), Watts::new(299.0), None);
+        let _ = a.control_tick(SimTime::from_secs(121), Watts::new(299.0), None);
+        assert!(a.effective_budget() > Watts::new(300.0));
+    }
+
+    #[test]
+    fn power_rejection_triggers_exploration() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(260.0));
+        a.set_power_template(flat_template(250.0));
+        // Not enough headroom for 16 cores: rejected for power.
+        let err = a.request_overclock(SimTime::ZERO, oc_request(16)).unwrap_err();
+        assert_eq!(err, RejectReason::PowerBudget);
+        // The next control tick explores a bigger budget even though there
+        // is no active grant.
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(250.0), None);
+        assert!(a.effective_budget() > Watts::new(260.0));
+        // After enough exploration (no warnings), the retry succeeds.
+        let mut t = SimTime::from_secs(1);
+        let mut granted = false;
+        for _ in 0..20 {
+            t += SimDuration::from_secs(31);
+            if a.request_overclock(t, oc_request(16)).is_ok() {
+                granted = true;
+                break;
+            }
+            let _ = a.control_tick(t, Watts::new(250.0), None);
+        }
+        assert!(granted, "exploration should eventually admit the request");
+    }
+
+    #[test]
+    fn nowarning_policy_ignores_warnings() {
+        let mut a = agent(PolicyKind::NoWarning);
+        a.set_power_budget(Watts::new(300.0));
+        a.set_power_template(flat_template(200.0));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
+        let explored = a.effective_budget();
+        let _ = a.control_tick(SimTime::from_secs(2), Watts::new(310.0), Some(RackSignal::Warning));
+        assert_eq!(a.effective_budget(), explored, "NoWarning must ignore warnings");
+    }
+
+    #[test]
+    fn nofeedback_policy_never_explores() {
+        let mut a = agent(PolicyKind::NoFeedback);
+        a.set_power_budget(Watts::new(300.0));
+        a.set_power_template(flat_template(200.0));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        for s in 1..100 {
+            let _ = a.control_tick(SimTime::from_secs(s), Watts::new(299.0), None);
+        }
+        assert_eq!(a.effective_budget(), Watts::new(300.0));
+    }
+
+    #[test]
+    fn capping_resets_to_assigned_budget() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(300.0));
+        a.set_power_template(flat_template(200.0));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        // Explore a couple of steps.
+        let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
+        let _ = a.control_tick(SimTime::from_secs(40), Watts::new(319.0), None);
+        assert!(a.effective_budget() > Watts::new(300.0));
+        let _ = a.control_tick(SimTime::from_secs(41), Watts::new(340.0), Some(RackSignal::Capping));
+        assert_eq!(a.effective_budget(), Watts::new(300.0));
+        assert_eq!(a.stats().capping_resets, 1);
+    }
+
+    #[test]
+    fn schedule_expires_and_frequency_returns_to_turbo() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let req =
+            OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_minutes(10));
+        let id = a.request_overclock(SimTime::ZERO, req).unwrap();
+        let events = a.control_tick(
+            SimTime::ZERO + SimDuration::from_minutes(11),
+            Watts::new(250.0),
+            None,
+        );
+        assert!(a.grant(id).is_none());
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SoaEvent::GrantEnded { reason: GrantEndReason::ScheduleComplete, .. }
+        )));
+    }
+
+    #[test]
+    fn lifetime_exhaustion_ends_grants() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        // Shrink the budget so it exhausts quickly: 0.1% of a week ≈ 10 min.
+        a.scale_lifetime_budget(0.01);
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
+        // Ramp up so the grant is actually overclocked.
+        let mut t = SimTime::ZERO;
+        let mut ended = false;
+        for _ in 0..300 {
+            t += SimDuration::from_minutes(1);
+            let events = a.control_tick(t, Watts::new(250.0), None);
+            if events.iter().any(|e| matches!(
+                e,
+                SoaEvent::GrantEnded { reason: GrantEndReason::LifetimeBudgetExhausted, .. }
+            )) {
+                ended = true;
+                break;
+            }
+        }
+        assert!(ended, "grant should end when the lifetime budget is exhausted");
+        assert_eq!(a.grants().count(), 0);
+    }
+
+    #[test]
+    fn exhaustion_warning_fires_within_window() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        a.scale_lifetime_budget(0.02); // ~20 min budget
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
+        let mut warned = false;
+        let mut t = SimTime::ZERO;
+        for _ in 0..30 {
+            t += SimDuration::from_minutes(1);
+            let events = a.control_tick(t, Watts::new(250.0), None);
+            if events.iter().any(|e| matches!(
+                e,
+                SoaEvent::ExhaustionWarning { resource: ExhaustedResource::Lifetime, .. }
+            )) {
+                warned = true;
+                break;
+            }
+        }
+        assert!(warned, "lifetime exhaustion warning should fire before the budget dies");
+    }
+
+    #[test]
+    fn power_exhaustion_warning_uses_template_ramp() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(400.0));
+        // Template: 250W at night, 395W during 9-17h.
+        let hist = TimeSeries::generate(
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::WEEK,
+            SimDuration::from_minutes(5),
+            |t| {
+                let h = t.time_of_day().as_hours_f64();
+                if (9.0..17.0).contains(&h) {
+                    395.0
+                } else {
+                    250.0
+                }
+            },
+        );
+        a.set_power_template(PowerTemplate::build(&hist, TemplateKind::DailyMed));
+        // Start OC on the following Monday at 8:50; the 9:00 ramp collides
+        // with the OC demand within the 15-minute window.
+        let now = SimTime::ZERO + SimDuration::WEEK + SimDuration::from_hours(8)
+            + SimDuration::from_minutes(50);
+        let _ = a.request_overclock(now, oc_request(8)).unwrap();
+        let events = a.control_tick(now, Watts::new(260.0), None);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                SoaEvent::ExhaustionWarning { resource: ExhaustedResource::Power, .. }
+            )),
+            "power exhaustion warning should fire before the 9AM ramp"
+        );
+    }
+
+    #[test]
+    fn early_release_returns_scheduled_reservation() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let req =
+            OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(4));
+        let id = a.request_overclock(SimTime::ZERO, req).unwrap();
+        let reserved_after = a.lifetime_remaining();
+        // End after one hour: three hours of reservation come back.
+        assert!(a.end_overclock(SimTime::ZERO + SimDuration::from_hours(1), id));
+        assert_eq!(
+            a.lifetime_remaining() - reserved_after,
+            SimDuration::from_hours(3)
+        );
+    }
+
+    #[test]
+    fn end_overclock_removes_grant() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
+        assert!(a.end_overclock(SimTime::from_secs(60), id));
+        assert!(!a.end_overclock(SimTime::from_secs(61), id));
+        assert_eq!(a.grants().count(), 0);
+    }
+
+    #[test]
+    fn grant_migrates_to_fresh_cores_when_assigned_cores_exhaust() {
+        // §IV-D: "the sOA explores if any other cores on a server have
+        // enough budget to support the VM's overclocking. In that case, the
+        // sOA reschedules the VM on those cores."
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
+        let original = a.grant(id).unwrap().cores.clone();
+        // Pre-wear the assigned cores to the brink of their per-core cap.
+        let cap = a.tracker.per_core_cap();
+        for &c in &original {
+            a.tracker.record(c, cap.saturating_sub(SimDuration::from_minutes(6)));
+        }
+        // Ramp the grant above turbo, then let accounting notice exhaustion.
+        let mut t = SimTime::ZERO;
+        for _ in 0..3 {
+            t += SimDuration::from_secs(30);
+            let _ = a.control_tick(t, Watts::new(250.0), None);
+        }
+        t += SimDuration::from_minutes(10);
+        let _ = a.control_tick(t, Watts::new(250.0), None);
+        let migrated = a.grant(id).expect("grant must survive via migration");
+        assert_ne!(
+            migrated.cores, original,
+            "the grant should have been rescheduled onto fresh cores"
+        );
+        for &c in &migrated.cores {
+            assert!(a.tracker.has_budget(c, SimDuration::from_minutes(5)));
+        }
+    }
+
+    #[test]
+    fn core_budget_rejection_when_all_cores_worn() {
+        let mut a = agent(PolicyKind::SmartOClock);
+        a.set_power_template(flat_template(200.0));
+        // Exhaust every core's per-epoch budget except the lifetime budget.
+        for c in 0..a.model().cores() {
+            a.tracker.record(c, SimDuration::from_days(7));
+        }
+        let err = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap_err();
+        assert_eq!(err, RejectReason::CoreBudget);
+    }
+}

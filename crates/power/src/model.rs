@@ -1,0 +1,339 @@
+//! The CPU power model.
+//!
+//! Both evaluation tracks in the paper rely on a model that maps *CPU
+//! utilization and core frequency* to power ("Models are used to estimate the
+//! power impact of overclocking; CPU utilization and core frequency are the
+//! input. We validate the model for each server generation", §V-B).
+//!
+//! [`PowerModel`] implements the standard decomposition
+//!
+//! ```text
+//! P_server = P_idle + Σ_cores  P_dyn_max · u_core · (f · V(f)²) / (f_t · V(f_t)²)
+//! ```
+//!
+//! where `P_dyn_max` is the per-core dynamic power at max turbo and full
+//! utilization, and the voltage curve supplies the beyond-turbo blow-up.
+
+use crate::freq::{FrequencyPlan, VoltageCurve};
+use crate::units::{MegaHertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Per-core operating state: utilization and clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreState {
+    /// Core utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Core clock.
+    pub frequency: MegaHertz,
+}
+
+impl CoreState {
+    /// Build a core state.
+    ///
+    /// # Panics
+    /// Panics if `utilization` is outside `[0, 1]` or not finite.
+    pub fn new(utilization: f64, frequency: MegaHertz) -> CoreState {
+        assert!(
+            utilization.is_finite() && (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1], got {utilization}"
+        );
+        CoreState { utilization, frequency }
+    }
+}
+
+/// Maps utilization + frequency to server power.
+///
+/// ```
+/// use soc_power::model::PowerModel;
+/// use soc_power::units::MegaHertz;
+///
+/// let model = PowerModel::reference_server();
+/// let turbo = model.plan().turbo();
+/// let idle = model.server_power_uniform(0.0, turbo);
+/// let busy = model.server_power_uniform(1.0, turbo);
+/// assert!(busy > idle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    idle: Watts,
+    per_core_dyn_turbo: Watts,
+    cores: usize,
+    curve: VoltageCurve,
+}
+
+impl PowerModel {
+    /// Build a model.
+    ///
+    /// # Panics
+    /// Panics if `cores == 0`, or either power figure is negative.
+    pub fn new(idle: Watts, per_core_dyn_turbo: Watts, cores: usize, curve: VoltageCurve) -> PowerModel {
+        assert!(cores > 0, "a server needs at least one core");
+        assert!(idle.get() >= 0.0 && per_core_dyn_turbo.get() >= 0.0, "power must be non-negative");
+        PowerModel { idle, per_core_dyn_turbo, cores, curve }
+    }
+
+    /// The reference server matching the paper's cluster: 64 cores,
+    /// ~100 W idle, ~400 W at full load on turbo, ~2x dynamic power when
+    /// overclocked to 4.0 GHz.
+    pub fn reference_server() -> PowerModel {
+        PowerModel::new(Watts::new(100.0), Watts::new(4.7), 64, VoltageCurve::default())
+    }
+
+    /// An Intel-generation server for the mixed fleets of §V-B ("servers
+    /// with either Intel or AMD CPUs"): 56 cores, slightly higher idle and
+    /// per-core power, 3.5 GHz turbo / 4.1 GHz max overclock.
+    pub fn intel_reference_server() -> PowerModel {
+        let plan = crate::freq::FrequencyPlan::intel_reference();
+        PowerModel::new(
+            Watts::new(110.0),
+            Watts::new(5.3),
+            56,
+            VoltageCurve::reference(plan),
+        )
+    }
+
+    /// Idle (static) power.
+    pub fn idle(&self) -> Watts {
+        self.idle
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The frequency plan the model's voltage curve is defined over.
+    pub fn plan(&self) -> FrequencyPlan {
+        self.curve.plan()
+    }
+
+    /// The voltage curve.
+    pub fn curve(&self) -> &VoltageCurve {
+        &self.curve
+    }
+
+    /// Dynamic power of one core at the given state.
+    ///
+    /// # Panics
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn core_power(&self, utilization: f64, frequency: MegaHertz) -> Watts {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1], got {utilization}"
+        );
+        self.per_core_dyn_turbo * (utilization * self.curve.dynamic_power_factor(frequency))
+    }
+
+    /// Total server power for an explicit per-core state vector.
+    ///
+    /// # Panics
+    /// Panics if `states.len()` exceeds the core count.
+    pub fn server_power(&self, states: &[CoreState]) -> Watts {
+        assert!(states.len() <= self.cores, "more core states than physical cores");
+        let dynamic: Watts =
+            states.iter().map(|c| self.core_power(c.utilization, c.frequency)).sum();
+        self.idle + dynamic
+    }
+
+    /// Server power with every core at the same utilization and frequency.
+    pub fn server_power_uniform(&self, utilization: f64, frequency: MegaHertz) -> Watts {
+        self.idle + self.core_power(utilization, frequency) * self.cores as f64
+    }
+
+    /// Server power when `oc_cores` cores run overclocked at `oc_freq` and
+    /// the rest at turbo, all at `utilization`. This is the shape the gOA's
+    /// power-budget computation reasons about (§IV-C).
+    ///
+    /// # Panics
+    /// Panics if `oc_cores` exceeds the core count.
+    pub fn server_power_mixed(
+        &self,
+        utilization: f64,
+        oc_cores: usize,
+        oc_freq: MegaHertz,
+    ) -> Watts {
+        assert!(oc_cores <= self.cores, "cannot overclock more cores than exist");
+        let turbo = self.plan().turbo();
+        let normal = self.core_power(utilization, turbo) * (self.cores - oc_cores) as f64;
+        let oc = self.core_power(utilization, oc_freq) * oc_cores as f64;
+        self.idle + normal + oc
+    }
+
+    /// Extra power from overclocking `oc_cores` cores from turbo to
+    /// `oc_freq` at the given utilization — the quantity the sOA reserves
+    /// during admission control (§IV-B).
+    pub fn overclock_delta(
+        &self,
+        utilization: f64,
+        oc_cores: usize,
+        oc_freq: MegaHertz,
+    ) -> Watts {
+        let turbo = self.plan().turbo();
+        (self.core_power(utilization, oc_freq) - self.core_power(utilization, turbo))
+            * oc_cores as f64
+    }
+
+    /// Invert the uniform model: estimate average utilization from observed
+    /// server power at a known frequency. Clamped to `[0, 1]`.
+    pub fn utilization_from_power(&self, power: Watts, frequency: MegaHertz) -> f64 {
+        let per_core = self.core_power(1.0, frequency) * self.cores as f64;
+        if per_core.get() <= 0.0 {
+            return 0.0;
+        }
+        ((power - self.idle).get() / per_core.get()).clamp(0.0, 1.0)
+    }
+
+    /// Split an observed server power draw into (regular, overclock) parts
+    /// given how many cores were overclocked to `oc_freq` — the gOA's
+    /// discrimination step (§IV-C "the number of cores from the server's
+    /// overclocking template enable the gOA to discriminate the two
+    /// portions").
+    pub fn split_regular_overclock(
+        &self,
+        observed: Watts,
+        oc_cores: usize,
+        oc_freq: MegaHertz,
+    ) -> (Watts, Watts) {
+        let oc_cores = oc_cores.min(self.cores);
+        // Estimate the utilization consistent with the observation.
+        let factor = self.curve.dynamic_power_factor(oc_freq);
+        let turbo_equiv_cores = (self.cores - oc_cores) as f64 + oc_cores as f64 * factor;
+        let per_core_turbo = self.per_core_dyn_turbo;
+        let denom = per_core_turbo.get() * turbo_equiv_cores;
+        let util = if denom <= 0.0 {
+            0.0
+        } else {
+            ((observed - self.idle).get() / denom).clamp(0.0, 1.0)
+        };
+        let oc_extra = self.overclock_delta(util, oc_cores, oc_freq).clamp_non_negative();
+        let regular = (observed - oc_extra).clamp_non_negative();
+        (regular, oc_extra)
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::reference_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> PowerModel {
+        PowerModel::reference_server()
+    }
+
+    #[test]
+    fn idle_power_at_zero_utilization() {
+        let m = model();
+        assert_eq!(m.server_power_uniform(0.0, m.plan().turbo()), m.idle());
+    }
+
+    #[test]
+    fn full_load_turbo_near_tdp() {
+        let m = model();
+        let p = m.server_power_uniform(1.0, m.plan().turbo());
+        // 100 + 64 * 4.7 ≈ 400 W.
+        assert!((p.get() - 400.0).abs() < 5.0, "p = {p}");
+    }
+
+    #[test]
+    fn overclocking_increases_power() {
+        let m = model();
+        let turbo = m.server_power_uniform(0.6, m.plan().turbo());
+        let oc = m.server_power_uniform(0.6, m.plan().max_overclock());
+        assert!(oc > turbo);
+        // Delta should match overclock_delta of all cores.
+        let delta = m.overclock_delta(0.6, m.cores(), m.plan().max_overclock());
+        assert!((oc - turbo - delta).get().abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_power_between_pure_states() {
+        let m = model();
+        let all_turbo = m.server_power_uniform(0.8, m.plan().turbo());
+        let all_oc = m.server_power_uniform(0.8, m.plan().max_overclock());
+        let mixed = m.server_power_mixed(0.8, 32, m.plan().max_overclock());
+        assert!(mixed > all_turbo && mixed < all_oc);
+    }
+
+    #[test]
+    fn utilization_inversion_roundtrip() {
+        let m = model();
+        for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let p = m.server_power_uniform(u, m.plan().turbo());
+            let u2 = m.utilization_from_power(p, m.plan().turbo());
+            assert!((u - u2).abs() < 1e-9, "u={u} u2={u2}");
+        }
+    }
+
+    #[test]
+    fn split_recovers_overclock_share() {
+        let m = model();
+        let oc_freq = m.plan().max_overclock();
+        let util = 0.7;
+        let observed = m.server_power_mixed(util, 10, oc_freq);
+        let (regular, extra) = m.split_regular_overclock(observed, 10, oc_freq);
+        let expected_extra = m.overclock_delta(util, 10, oc_freq);
+        assert!((extra - expected_extra).get().abs() < 1e-6, "extra={extra} expected={expected_extra}");
+        assert!((regular + extra - observed).get().abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_with_no_oc_cores_is_all_regular() {
+        let m = model();
+        let observed = m.server_power_uniform(0.5, m.plan().turbo());
+        let (regular, extra) = m.split_regular_overclock(observed, 0, m.plan().max_overclock());
+        assert_eq!(extra, Watts::ZERO);
+        assert_eq!(regular, observed);
+    }
+
+    #[test]
+    fn per_oc_core_delta_is_several_watts() {
+        // Sanity-check against the paper's §IV-C example (≈10 W per
+        // overclocked core at high utilization): our calibration gives
+        // ~4-6 W at full utilization, same order of magnitude.
+        let m = model();
+        let delta = m.overclock_delta(1.0, 1, m.plan().max_overclock());
+        assert!((3.0..=12.0).contains(&delta.get()), "delta = {delta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in")]
+    fn rejects_bad_utilization() {
+        let m = model();
+        let _ = m.core_power(1.5, m.plan().turbo());
+    }
+
+    proptest! {
+        #[test]
+        fn power_monotone_in_utilization(u1 in 0.0..1.0f64, u2 in 0.0..1.0f64) {
+            let m = model();
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            prop_assert!(
+                m.server_power_uniform(lo, m.plan().turbo())
+                    <= m.server_power_uniform(hi, m.plan().turbo())
+            );
+        }
+
+        #[test]
+        fn power_monotone_in_frequency(f in 2450u32..=4000) {
+            let m = model();
+            let lower = m.server_power_uniform(0.5, MegaHertz::new(f));
+            let higher = m.server_power_uniform(0.5, MegaHertz::new(f + 50));
+            prop_assert!(lower <= higher + Watts::new(1e-9));
+        }
+
+        #[test]
+        fn split_parts_sum_to_observed(util in 0.0..1.0f64, oc in 0usize..64) {
+            let m = model();
+            let observed = m.server_power_mixed(util, oc, m.plan().max_overclock());
+            let (r, e) = m.split_regular_overclock(observed, oc, m.plan().max_overclock());
+            prop_assert!(((r + e) - observed).get().abs() < 1e-6);
+            prop_assert!(r.get() >= 0.0 && e.get() >= 0.0);
+        }
+    }
+}

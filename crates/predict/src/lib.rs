@@ -1,0 +1,21 @@
+//! # soc-predict — power and utilization prediction templates
+//!
+//! SmartOClock's admission control rests on predictable power draw: "the
+//! Global and Server Overclocking Agents continuously monitor the server and
+//! rack power consumption and use the data gathered during monitoring to
+//! periodically (e.g., weekly) recompute the per-rack and per-server power
+//! templates" (paper §IV-B).
+//!
+//! * [`template`] — the five template-construction strategies the paper
+//!   compares in Fig. 15: `FlatMed`, `FlatMax`, `Weekly`, `DailyMed` (the one
+//!   SmartOClock uses), and `DailyMax`. A [`template::PowerTemplate`]
+//!   predicts a value for any future instant.
+//! * [`eval`] — walk-forward accuracy evaluation: build the template on one
+//!   week, score it on the next, exactly as deployed (§IV-B), producing the
+//!   RMSE and mean-error distributions of Figs. 8 and 15.
+
+pub mod eval;
+pub mod template;
+
+pub use eval::{walk_forward, WalkForwardReport};
+pub use template::{PowerTemplate, TemplateKind};

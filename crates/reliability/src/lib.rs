@@ -1,0 +1,38 @@
+//! # soc-reliability — component lifetime substrate
+//!
+//! Overclocking "impacts component lifetime by increasing wearout and, thus,
+//! cannot be used indefinitely" (paper §I). This crate models that risk:
+//!
+//! * [`wear`] — the ageing-rate model (voltage- and temperature-accelerated
+//!   gate-oxide wear) standing in for the paper's TSMC 7 nm composite
+//!   processor model, calibrated to the paper's anchors (§III-Q2):
+//!   conservative fleet usage ages 2.5 years over a 5-year period; naive
+//!   always-overclocking at full utilization burns 5 years of lifetime in
+//!   under a year; an overclock-aware policy can consume the accumulated
+//!   credits without exceeding expected ageing. Includes the
+//!   [`wear::AgeingLedger`] that tracks actual-vs-expected
+//!   ageing and the lifetime credits under-utilization accrues.
+//! * [`budget`] — the epoch-based overclocking time budget (§IV-B): a weekly
+//!   epoch split into per-weekday allowances, reservations for scheduled
+//!   requests, and carry-over of unused budget.
+//! * [`counters`] — online per-part wear-out counters (§VI's upgrade from
+//!   conservative offline certification to measured-state accounting).
+//! * [`thermal`] — a first-order RC thermal model with air/liquid/immersion
+//!   cooling parameters, quantifying §III-Q2's claim that advanced cooling
+//!   extends the sustainable overclocking duration.
+//! * [`tracker`] — per-core time-in-state tracking, the software stand-in for
+//!   vendor telemetry (Intel PMT / AMD HSMP, §IV-B), including the
+//!   find-another-core exploration the sOA performs when a core's budget is
+//!   exhausted (§IV-D).
+
+pub mod budget;
+pub mod counters;
+pub mod thermal;
+pub mod tracker;
+pub mod wear;
+
+pub use budget::{BudgetError, OverclockBudget};
+pub use counters::WearoutCounter;
+pub use thermal::{Cooling, ThermalModel};
+pub use tracker::TimeInState;
+pub use wear::{AgeingLedger, WearModel};

@@ -1,0 +1,406 @@
+//! Statistics used throughout the evaluation: percentiles, RMSE, CDFs,
+//! normalization, and streaming summaries.
+//!
+//! The paper reports P50/P99 latencies and power utilizations (Figs. 2, 5,
+//! 12), RMSE of power predictions (Fig. 8), and CDFs of prediction error
+//! (Fig. 15); the helpers here implement those metrics exactly once so every
+//! crate agrees on definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Linearly-interpolated percentile of an unsorted slice (`p` in `[0, 100]`).
+///
+/// Uses the standard "linear interpolation between closest ranks" definition
+/// (NumPy default).
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+///
+/// ```
+/// use simcore::stats::percentile;
+/// let xs = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(percentile(&xs, 50.0), 2.5);
+/// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_of_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted slice; see [`percentile`].
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_of_sorted(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "percentile of an empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if xs.len() == 1 {
+        return xs[0];
+    }
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    xs[lo] + (xs[hi] - xs[lo]) * frac
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root-mean-squared error between predictions and observations.
+///
+/// This is the accuracy metric the paper uses for power templates (Fig. 8:
+/// "50% and 99% of the racks have an RMSE lower than 1.95W and 5.11W").
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse inputs must have equal length");
+    assert!(!predicted.is_empty(), "rmse of empty slices");
+    let se: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    (se / predicted.len() as f64).sqrt()
+}
+
+/// Mean error (bias): positive when predictions overshoot.
+///
+/// Fig. 15 plots per-technique mean prediction error; conservative templates
+/// (FlatMax) show positive bias, opportunistic ones (FlatMed) negative.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mean_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "mean_error inputs must have equal length");
+    assert!(!predicted.is_empty(), "mean_error of empty slices");
+    predicted.iter().zip(actual).map(|(p, a)| p - a).sum::<f64>() / predicted.len() as f64
+}
+
+/// An empirical cumulative distribution function.
+///
+/// ```
+/// use simcore::stats::Ecdf;
+/// let cdf = Ecdf::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.0), 1.0);
+/// assert_eq!(cdf.quantile(1.0), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from raw samples.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn from_samples(samples: &[f64]) -> Ecdf {
+        assert!(!samples.is_empty(), "ECDF of an empty sample set");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false`: ECDFs cannot be empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        let n = self.sorted.partition_point(|&v| v <= x);
+        n as f64 / self.sorted.len() as f64
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (linear interpolation).
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        percentile_of_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Evenly spaced `(value, cumulative_fraction)` points for plotting,
+    /// including both endpoints.
+    ///
+    /// # Panics
+    /// Panics if `points < 2`.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Streaming summary (count/mean/min/max/variance) via Welford's algorithm.
+///
+/// ```
+/// use simcore::stats::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0] { s.record(x); }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Summary {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation.
+    ///
+    /// # Panics
+    /// Panics if no observations were recorded.
+    pub fn min(&self) -> f64 {
+        assert!(self.count > 0, "min of an empty summary");
+        self.min
+    }
+
+    /// Maximum observation.
+    ///
+    /// # Panics
+    /// Panics if no observations were recorded.
+    pub fn max(&self) -> f64 {
+        assert!(self.count > 0, "max of an empty summary");
+        self.max
+    }
+
+    /// Merge another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Normalize values so the maximum becomes `1.0`.
+///
+/// Returns all zeros if the maximum is zero. Used by figure generators that
+/// plot "utilization normalized to peak" (Figs. 1, 9).
+pub fn normalize_to_peak(xs: &[f64]) -> Vec<f64> {
+    let peak = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !peak.is_finite() || peak == 0.0 {
+        return vec![0.0; xs.len()];
+    }
+    xs.iter().map(|x| x / peak).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 75.0) - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_prediction() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        let pred = [2.0, 2.0];
+        let act = [0.0, 0.0];
+        assert_eq!(rmse(&pred, &act), 2.0);
+    }
+
+    #[test]
+    fn mean_error_sign_convention() {
+        assert!(mean_error(&[3.0], &[1.0]) > 0.0); // overprediction positive
+        assert!(mean_error(&[1.0], &[3.0]) < 0.0);
+    }
+
+    #[test]
+    fn ecdf_fractions() {
+        let cdf = Ecdf::from_samples(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_curve_endpoints() {
+        let cdf = Ecdf::from_samples(&[5.0, 1.0, 3.0]);
+        let curve = cdf.curve(5);
+        assert_eq!(curve.first().unwrap(), &(1.0, 0.0));
+        assert_eq!(curve.last().unwrap(), &(5.0, 1.0));
+    }
+
+    #[test]
+    fn summary_matches_batch() {
+        let xs = [1.0, 4.0, 9.0, 16.0, 25.0];
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.std_dev() - std_dev(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 25.0);
+    }
+
+    #[test]
+    fn summary_merge_equals_combined() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0];
+        let mut sa = Summary::new();
+        a.iter().for_each(|&x| sa.record(x));
+        let mut sb = Summary::new();
+        b.iter().for_each(|&x| sb.record(x));
+        sa.merge(&sb);
+        let all: Vec<f64> = a.iter().chain(&b).cloned().collect();
+        assert!((sa.mean() - mean(&all)).abs() < 1e-12);
+        assert!((sa.variance() - std_dev(&all).powi(2)).abs() < 1e-9);
+        assert_eq!(sa.count(), 5);
+    }
+
+    #[test]
+    fn normalize_handles_zero_peak() {
+        assert_eq!(normalize_to_peak(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize_to_peak(&[1.0, 2.0]), vec![0.5, 1.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone(
+            mut xs in prop::collection::vec(-1e6..1e6f64, 1..100),
+            p1 in 0.0..100.0f64,
+            p2 in 0.0..100.0f64,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(percentile_of_sorted(&xs, lo) <= percentile_of_sorted(&xs, hi) + 1e-9);
+        }
+
+        #[test]
+        fn percentile_within_range(xs in prop::collection::vec(-1e6..1e6f64, 1..100), p in 0.0..100.0f64) {
+            let v = percentile(&xs, p);
+            let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= mn - 1e-9 && v <= mx + 1e-9);
+        }
+
+        #[test]
+        fn rmse_nonnegative_and_bounded_by_max_abs_error(
+            pairs in prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 1..50)
+        ) {
+            let pred: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let act: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let e = rmse(&pred, &act);
+            let max_abs = pred.iter().zip(&act).map(|(p, a)| (p - a).abs()).fold(0.0, f64::max);
+            prop_assert!(e >= 0.0);
+            prop_assert!(e <= max_abs + 1e-9);
+        }
+
+        #[test]
+        fn ecdf_quantile_monotone(xs in prop::collection::vec(-1e3..1e3f64, 1..50), q in 0.0..1.0f64) {
+            let cdf = Ecdf::from_samples(&xs);
+            prop_assert!(cdf.quantile(q) <= cdf.quantile(1.0) + 1e-9);
+            prop_assert!(cdf.quantile(q) >= cdf.quantile(0.0) - 1e-9);
+        }
+    }
+}

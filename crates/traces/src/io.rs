@@ -1,0 +1,221 @@
+//! CSV import/export for trace containers.
+//!
+//! The format is deliberately simple (one header line, one row per sample)
+//! so traces can be inspected with standard tooling or re-plotted outside
+//! Rust. Only the workspace-approved dependencies are used; parsing is
+//! hand-rolled.
+
+use simcore::series::TimeSeries;
+use simcore::time::{SimDuration, SimTime};
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from parsing a CSV trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The input had no header line.
+    MissingHeader,
+    /// A row had the wrong number of fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Rows are not evenly spaced in time.
+    IrregularStep {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::MissingHeader => write!(f, "missing header line"),
+            ParseTraceError::BadFieldCount { line } => {
+                write!(f, "wrong field count on line {line}")
+            }
+            ParseTraceError::BadNumber { line } => write!(f, "unparseable number on line {line}"),
+            ParseTraceError::IrregularStep { line } => {
+                write!(f, "irregular sampling step on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serialize a time series to CSV with columns `time_us,value`.
+///
+/// ```
+/// use soc_traces::io::{series_to_csv, series_from_csv};
+/// use simcore::series::TimeSeries;
+/// use simcore::time::{SimDuration, SimTime};
+///
+/// let ts = TimeSeries::from_values(SimTime::ZERO, SimDuration::from_secs(1), vec![1.0, 2.0]);
+/// let csv = series_to_csv(&ts);
+/// let back = series_from_csv(&csv).unwrap();
+/// assert_eq!(ts, back);
+/// ```
+pub fn series_to_csv(series: &TimeSeries) -> String {
+    let mut out = String::from("time_us,value\n");
+    for (t, v) in series.iter() {
+        out.push_str(&format!("{},{}\n", t.as_micros(), v));
+    }
+    out
+}
+
+/// Parse a time series from the CSV produced by [`series_to_csv`].
+///
+/// # Errors
+/// Returns a [`ParseTraceError`] describing the first malformed line. An
+/// empty body yields an empty series with a 1-second step.
+pub fn series_from_csv(csv: &str) -> Result<TimeSeries, ParseTraceError> {
+    let mut lines = csv.lines();
+    let _header = lines.next().ok_or(ParseTraceError::MissingHeader)?;
+    let mut rows: Vec<(u64, f64)> = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let (t, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(t), Some(v), None) => (t, v),
+            _ => return Err(ParseTraceError::BadFieldCount { line: line_no }),
+        };
+        let t = u64::from_str(t.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+        let v = f64::from_str(v.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+        rows.push((t, v));
+    }
+    if rows.is_empty() {
+        return Ok(TimeSeries::new(SimTime::ZERO, SimDuration::SECOND));
+    }
+    if rows.len() == 1 {
+        return Ok(TimeSeries::from_values(
+            SimTime::from_micros(rows[0].0),
+            SimDuration::SECOND,
+            vec![rows[0].1],
+        ));
+    }
+    let step = rows[1].0 - rows[0].0;
+    if step == 0 {
+        return Err(ParseTraceError::IrregularStep { line: 3 });
+    }
+    for (i, w) in rows.windows(2).enumerate() {
+        if w[1].0 - w[0].0 != step {
+            return Err(ParseTraceError::IrregularStep { line: i + 3 });
+        }
+    }
+    Ok(TimeSeries::from_values(
+        SimTime::from_micros(rows[0].0),
+        SimDuration::from_micros(step),
+        rows.into_iter().map(|(_, v)| v).collect(),
+    ))
+}
+
+/// Serialize several aligned series as one CSV with a shared time column.
+///
+/// # Panics
+/// Panics if the series do not share start/step/length, or if
+/// `names.len() != series.len()`.
+pub fn multi_series_to_csv(names: &[&str], series: &[&TimeSeries]) -> String {
+    assert_eq!(names.len(), series.len(), "one name per series");
+    assert!(!series.is_empty(), "need at least one series");
+    let first = series[0];
+    for s in series {
+        assert_eq!(s.start(), first.start(), "mismatched start");
+        assert_eq!(s.step(), first.step(), "mismatched step");
+        assert_eq!(s.len(), first.len(), "mismatched length");
+    }
+    let mut out = String::from("time_us");
+    for name in names {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for i in 0..first.len() {
+        out.push_str(&first.time_at_index(i).as_micros().to_string());
+        for s in series {
+            out.push_str(&format!(",{}", s.values()[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_series() {
+        let ts = TimeSeries::from_values(
+            SimTime::from_secs(60),
+            SimDuration::from_secs(30),
+            vec![1.5, 2.5, 3.5],
+        );
+        let back = series_from_csv(&series_to_csv(&ts)).unwrap();
+        assert_eq!(ts, back);
+    }
+
+    #[test]
+    fn empty_body_gives_empty_series() {
+        let ts = series_from_csv("time_us,value\n").unwrap();
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn single_row_parses() {
+        let ts = series_from_csv("time_us,value\n1000000,7.5\n").unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.values(), &[7.5]);
+        assert_eq!(ts.start(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn rejects_bad_field_count() {
+        let err = series_from_csv("h\n1,2,3\n").unwrap_err();
+        assert_eq!(err, ParseTraceError::BadFieldCount { line: 2 });
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        let err = series_from_csv("h\nxyz,1.0\n").unwrap_err();
+        assert_eq!(err, ParseTraceError::BadNumber { line: 2 });
+    }
+
+    #[test]
+    fn rejects_irregular_step() {
+        let err = series_from_csv("h\n0,1.0\n10,2.0\n25,3.0\n").unwrap_err();
+        assert_eq!(err, ParseTraceError::IrregularStep { line: 4 });
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let ts = series_from_csv("h\n0,1.0\n\n10,2.0\n").unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn multi_series_layout() {
+        let a = TimeSeries::from_values(SimTime::ZERO, SimDuration::SECOND, vec![1.0, 2.0]);
+        let b = TimeSeries::from_values(SimTime::ZERO, SimDuration::SECOND, vec![3.0, 4.0]);
+        let csv = multi_series_to_csv(&["a", "b"], &[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_us,a,b");
+        assert_eq!(lines[1], "0,1,3");
+        assert_eq!(lines[2], "1000000,2,4");
+    }
+
+    #[test]
+    #[should_panic(expected = "one name per series")]
+    fn multi_series_validates_names() {
+        let a = TimeSeries::from_values(SimTime::ZERO, SimDuration::SECOND, vec![1.0]);
+        let _ = multi_series_to_csv(&["a", "b"], &[&a]);
+    }
+}

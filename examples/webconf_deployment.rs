@@ -1,0 +1,72 @@
+//! Deployment-level workload intelligence: the WebConf scenario (Fig. 4).
+//!
+//! A WebConf deployment keeps *average* utilization below 50 % so it can
+//! absorb a failed availability zone. A VM-local overclocking policy sees
+//! only the hot VM and overclocks it — wasting lifetime budget — while a
+//! deployment-aware policy recognizes the goal is already met. The example
+//! then fails a zone to show when deployment-aware overclocking *does*
+//! engage.
+//!
+//! Run with: `cargo run --release --example webconf_deployment`
+
+use simcore::time::SimTime;
+use smartoclock::wi::{GlobalWiAgent, MetricKind, MetricTrigger, OverclockPolicy, VmMetrics};
+use soc_power::freq::FrequencyPlan;
+use soc_workloads::webconf::WebConfDeployment;
+
+fn main() {
+    let plan = FrequencyPlan::amd_reference();
+    let mut dep = WebConfDeployment::new(plan.turbo(), 0.5);
+    // Two zones' worth of VMs: zone A lightly loaded, zone B hot.
+    let a1 = dep.add_vm(0.10);
+    let a2 = dep.add_vm(0.25);
+    let b1 = dep.add_vm(0.80);
+    let b2 = dep.add_vm(0.65);
+
+    // Deployment-aware policy: utilization trigger + deployment goal.
+    let mut policy = OverclockPolicy::latency(1.0, 0.5); // placeholder trigger, replaced below
+    policy.trigger = Some(MetricTrigger::new(MetricKind::CpuUtilization, 0.55, 0.35));
+    policy.deployment_goal = Some(0.5);
+    let mut wi = GlobalWiAgent::new(policy);
+
+    let report = |dep: &WebConfDeployment| -> Vec<VmMetrics> {
+        (0..dep.vm_count())
+            .map(|i| VmMetrics {
+                tail_latency_ms: f64::NAN,
+                cpu_utilization: dep.vm_utilization(i),
+                queue_length: 0.0,
+            })
+            .collect()
+    };
+
+    println!("--- normal operation ---");
+    for (name, i) in [("A1", a1), ("A2", a2), ("B1", b1), ("B2", b2)] {
+        println!("VM {name}: utilization {:.2}", dep.vm_utilization(i));
+    }
+    println!("deployment utilization: {:.2} (goal 0.50)", dep.deployment_utilization());
+    println!("VM-local policy (>70% util) would overclock VMs {:?}", dep.vms_above(0.7));
+    wi.report(report(&dep));
+    let d = wi.decide(SimTime::ZERO);
+    println!("deployment-aware decision: overclock = {} (goal already met)\n", d.overclock);
+    assert!(!d.overclock);
+
+    println!("--- zone A fails: its load lands on zone B ---");
+    let mut failed = WebConfDeployment::new(plan.turbo(), 0.5);
+    let b1 = failed.add_vm(0.80 + 0.10); // absorbs A1
+    let b2 = failed.add_vm(0.65 + 0.25); // absorbs A2
+    println!("VM B1: {:.2}, VM B2: {:.2}", failed.vm_utilization(b1), failed.vm_utilization(b2));
+    println!("deployment utilization: {:.2}", failed.deployment_utilization());
+    wi.report(report(&failed));
+    let d = wi.decide(SimTime::ZERO);
+    println!("deployment-aware decision: overclock = {}", d.overclock);
+    assert!(d.overclock);
+
+    // Overclocking the surviving VMs brings utilization back down.
+    failed.set_frequency(b1, plan.max_overclock());
+    failed.set_frequency(b2, plan.max_overclock());
+    println!(
+        "after overclocking both VMs to {}: deployment utilization {:.2}",
+        plan.max_overclock(),
+        failed.deployment_utilization()
+    );
+}

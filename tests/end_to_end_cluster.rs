@@ -1,0 +1,100 @@
+//! Cross-crate integration: the full cluster harness exercising the queueing
+//! simulator, the power model, the rack monitor, and all three SmartOClock
+//! agent layers together.
+
+use soc_cluster::harness::{ClusterConfig, ClusterSim, SystemKind};
+use soc_workloads::socialnet::LoadLevel;
+
+fn run(system: SystemKind, seed: u64) -> soc_cluster::harness::ClusterResult {
+    let mut cfg = ClusterConfig::small_test(system);
+    cfg.seed = seed;
+    ClusterSim::new(cfg).run()
+}
+
+#[test]
+fn smartoclock_beats_baseline_tail_at_high_load() {
+    let base = run(SystemKind::Baseline, 1);
+    let smart = run(SystemKind::SmartOClock, 1);
+    let b = base.p99_by_load(LoadLevel::High);
+    let s = smart.p99_by_load(LoadLevel::High);
+    assert!(s < b, "SmartOClock P99 {s:.1} must beat Baseline {b:.1} at high load");
+}
+
+#[test]
+fn smartoclock_cheaper_than_scaleout() {
+    let scale = run(SystemKind::ScaleOut, 2);
+    let smart = run(SystemKind::SmartOClock, 2);
+    assert!(
+        smart.avg_active_vms <= scale.avg_active_vms,
+        "SmartOClock {} VMs must not exceed ScaleOut {} VMs",
+        smart.avg_active_vms,
+        scale.avg_active_vms
+    );
+}
+
+#[test]
+fn smartoclock_reduces_missed_slos_vs_baseline() {
+    let base = run(SystemKind::Baseline, 3);
+    let smart = run(SystemKind::SmartOClock, 3);
+    let b: u64 = base.instances.iter().map(|i| i.missed).sum();
+    let s: u64 = smart.instances.iter().map(|i| i.missed).sum();
+    assert!(s <= b, "SmartOClock misses {s} must not exceed Baseline {b}");
+}
+
+#[test]
+fn overclocking_systems_issue_and_grant_requests() {
+    for system in [SystemKind::NaiveOClock, SystemKind::SmartOClock] {
+        let r = run(system, 4);
+        let (granted, total) = r.oc_requests;
+        assert!(total > 0, "{system} should issue overclock requests");
+        assert!(granted > 0, "{system} should grant some requests");
+        assert!(granted <= total);
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    let r = run(SystemKind::SmartOClock, 5);
+    assert!(r.socialnet_energy_j > 0.0);
+    assert!(r.socialnet_energy_j < r.total_energy_j);
+    // Per-load-class energy entries exist for each class present.
+    assert!(r.per_server_energy_by_load.iter().all(|&e| e >= 0.0));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(SystemKind::SmartOClock, 6);
+    let b = run(SystemKind::SmartOClock, 6);
+    assert_eq!(a, b, "identical seeds must give identical results");
+}
+
+#[test]
+fn different_seeds_change_details_not_structure() {
+    let a = run(SystemKind::SmartOClock, 7);
+    let b = run(SystemKind::SmartOClock, 8);
+    assert_eq!(a.instances.len(), b.instances.len());
+    assert_ne!(
+        a.instances.iter().map(|i| i.completed).sum::<u64>(),
+        b.instances.iter().map(|i| i.completed).sum::<u64>()
+    );
+}
+
+#[test]
+fn constrained_rack_produces_capping_for_naive() {
+    let mut cfg = ClusterConfig::small_test(SystemKind::NaiveOClock);
+    cfg.rack_limit_scale = 0.82;
+    cfg.seed = 9;
+    let naive = ClusterSim::new(cfg).run();
+    let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
+    cfg.rack_limit_scale = 0.82;
+    cfg.seed = 9;
+    let smart = ClusterSim::new(cfg).run();
+    assert!(
+        smart.capping_events <= naive.capping_events,
+        "SmartOClock capping {} must not exceed NaiveOClock {}",
+        smart.capping_events,
+        naive.capping_events
+    );
+    // MLTrain throughput suffers at least as much under naive overclocking.
+    assert!(smart.mltrain_relative_throughput >= naive.mltrain_relative_throughput - 1e-9);
+}

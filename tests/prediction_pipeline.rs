@@ -1,0 +1,111 @@
+//! Cross-crate integration: synthetic traces → power templates → sOA
+//! admission control, the full prediction pipeline of §IV-B.
+
+use simcore::stats::Ecdf;
+use simcore::time::{SimDuration, SimTime};
+use smartoclock::config::SoaConfig;
+use smartoclock::messages::OverclockRequest;
+use smartoclock::policy::PolicyKind;
+use smartoclock::soa::ServerOverclockAgent;
+use soc_power::units::Watts;
+use soc_predict::eval::{template_at, walk_forward};
+use soc_predict::template::TemplateKind;
+use soc_traces::gen::{FleetConfig, TraceGenerator};
+
+fn two_week_config() -> FleetConfig {
+    let mut cfg = FleetConfig::small_test();
+    cfg.span = SimDuration::WEEK * 2;
+    cfg
+}
+
+#[test]
+fn generated_racks_are_predictable_with_dailymed() {
+    // The Q3 property end-to-end: templates built on generated traces have
+    // low relative RMSE.
+    let fleet = TraceGenerator::new(3).generate(&two_week_config());
+    let mut rel_errors = Vec::new();
+    for rack in &fleet.racks {
+        let report = walk_forward(&rack.power, TemplateKind::DailyMed);
+        rel_errors.push(report.rmse / rack.power.mean());
+    }
+    let cdf = Ecdf::from_samples(&rel_errors);
+    assert!(
+        cdf.quantile(0.5) < 0.10,
+        "median relative RMSE {} should be below 10%",
+        cdf.quantile(0.5)
+    );
+}
+
+#[test]
+fn dailymed_outperforms_flat_templates_on_generated_traces() {
+    let fleet = TraceGenerator::new(4).generate(&two_week_config());
+    let rack = &fleet.racks[0];
+    let daily = walk_forward(&rack.power, TemplateKind::DailyMed).rmse;
+    let flat_max = walk_forward(&rack.power, TemplateKind::FlatMax).rmse;
+    assert!(daily < flat_max, "DailyMed {daily} must beat FlatMax {flat_max}");
+}
+
+#[test]
+fn soa_admission_uses_trace_built_template() {
+    // Build a server template from a generated trace and verify admission
+    // respects the predicted draw at different times of day.
+    let generator = TraceGenerator::new(5);
+    let fleet = generator.generate(&two_week_config());
+    let rack = &fleet.racks[0];
+    let server = &rack.servers[0];
+    let model = generator.model_for(rack.generation);
+
+    let now = SimTime::ZERO + SimDuration::WEEK;
+    let template = template_at(&server.power, now, TemplateKind::DailyMed);
+
+    let mut soa = ServerOverclockAgent::new(model, SoaConfig::reference(), PolicyKind::SmartOClock);
+    soa.set_power_template(template.clone());
+
+    // Find the peak and trough of the template's weekday profile.
+    let mut peak_t = now;
+    let mut trough_t = now;
+    let (mut peak, mut trough) = (f64::MIN, f64::MAX);
+    for h in 0..24 {
+        let t = now + SimDuration::from_hours(h);
+        let p = template.predict(t);
+        if p > peak {
+            peak = p;
+            peak_t = t;
+        }
+        if p < trough {
+            trough = p;
+            trough_t = t;
+        }
+    }
+    assert!(peak > trough, "template must have diurnal structure");
+
+    // Budget between trough+delta and peak+delta: the same request is
+    // admitted at the trough but rejected at the peak.
+    let cores = 16;
+    let target = model.plan().max_overclock();
+    let delta = model.overclock_delta(0.9, cores, target);
+    soa.set_power_budget(Watts::new((peak + trough) / 2.0) + delta);
+
+    let req = OverclockRequest::metrics_based("vm", cores, target);
+    let at_trough = soa.request_overclock(trough_t, req.clone());
+    assert!(at_trough.is_ok(), "trough-time request should be admitted");
+    let id = at_trough.unwrap();
+    soa.end_overclock(trough_t, id);
+    let at_peak = soa.request_overclock(peak_t, req);
+    assert!(at_peak.is_err(), "peak-time request should be rejected");
+}
+
+#[test]
+fn fleet_statistics_are_region_independent_in_shape() {
+    // Different regions get different streams but the same structural
+    // properties (used by the Fig. 8 four-region comparison).
+    for region in ["r1", "r2"] {
+        let mut cfg = two_week_config();
+        cfg.region = region.into();
+        let fleet = TraceGenerator::new(6).generate(&cfg);
+        for rack in &fleet.racks {
+            let u = rack.mean_utilization();
+            assert!(u > 0.1 && u < 1.0, "region {region} rack utilization {u}");
+        }
+    }
+}

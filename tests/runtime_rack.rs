@@ -1,0 +1,113 @@
+//! Cross-crate integration: the deployment-shaped threaded runtime driven by
+//! generated traces and gOA budgets — the full per-server-daemon path.
+
+use simcore::time::{SimDuration, SimTime};
+use smartoclock::config::SoaConfig;
+use smartoclock::goa::{GlobalOverclockAgent, ServerProfile};
+use smartoclock::messages::OverclockRequest;
+use smartoclock::policy::PolicyKind;
+use smartoclock::runtime::RackRuntime;
+use soc_power::rack::{RackMonitor, RackSignal};
+use soc_power::units::Watts;
+use soc_predict::template::{PowerTemplate, TemplateKind};
+use soc_traces::gen::{FleetConfig, TraceGenerator};
+
+#[test]
+fn threaded_rack_follows_goa_budgets_from_traces() {
+    // Generate a rack, build per-server profiles, compute heterogeneous
+    // budgets, and drive one simulated hour through threaded agents.
+    let mut cfg = FleetConfig::small_test();
+    cfg.servers_per_rack_min = 4;
+    cfg.servers_per_rack_max = 4;
+    let generator = TraceGenerator::new(17);
+    let rack = generator.generate_rack(&cfg, 0);
+    let model = generator.model_for(rack.generation);
+    let oc_freq = model.plan().max_overclock();
+
+    let profiles: Vec<ServerProfile> = rack
+        .servers
+        .iter()
+        .map(|s| ServerProfile::from_history(&s.power, &s.oc_demand_cores, &model, oc_freq, 0.9))
+        .collect();
+    let goa = GlobalOverclockAgent::new(rack.limit, PolicyKind::SmartOClock);
+
+    let runtime =
+        RackRuntime::start(rack.servers.len(), model, SoaConfig::reference(), PolicyKind::SmartOClock);
+
+    // Push budgets and templates, as the weekly exchange would.
+    let now = SimTime::ZERO + SimDuration::WEEK;
+    let budgets = goa.budgets_at(now, &profiles);
+    for (i, (budget, server)) in budgets.iter().zip(&rack.servers).enumerate() {
+        runtime.set_budget(i, *budget);
+        runtime.set_template(i, PowerTemplate::build(&server.power, TemplateKind::DailyMed));
+    }
+
+    // Drive one hour of 30-second ticks with rack-level signals.
+    let mut monitor = RackMonitor::new(rack.limit, 0.95);
+    let mut granted = 0usize;
+    let mut rejected = 0usize;
+    for k in 0..120u64 {
+        let t = now + SimDuration::from_secs(30 * k);
+        // Each server with trace demand submits a request once.
+        if k == 2 {
+            for (i, server) in rack.servers.iter().enumerate() {
+                let cores = server.oc_demand_cores.max().max(2.0) as usize;
+                let req = OverclockRequest::metrics_based(
+                    format!("srv{i}-vm"),
+                    cores.min(8),
+                    oc_freq,
+                );
+                match runtime.request(i, t, req) {
+                    Ok(_) => granted += 1,
+                    Err(_) => rejected += 1,
+                }
+            }
+        }
+        let measured: Vec<Watts> = rack
+            .servers
+            .iter()
+            .map(|s| Watts::new(s.power.value_at(t).unwrap_or(0.0)))
+            .collect();
+        let total: Watts = measured.iter().copied().sum();
+        let signal = monitor.observe(total);
+        runtime.tick_all(t, &measured, Some(signal));
+    }
+    // Let the threads drain, then inspect.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let events = runtime.drain_events();
+    let stats = runtime.stats();
+    assert_eq!(granted + rejected, rack.servers.len());
+    assert!(granted > 0, "budgets from real traces should admit some requests");
+    assert!(
+        !events.is_empty(),
+        "the feedback loop should have produced frequency commands"
+    );
+    let total_requests: u64 = stats.iter().map(|s| s.requests).sum();
+    assert_eq!(total_requests as usize, granted + rejected);
+    // Baseline traces stay below the limit, so no capping resets occurred.
+    assert!(monitor.capping_events() == 0 || signal_seen(&stats));
+    runtime.shutdown();
+}
+
+fn signal_seen(stats: &[smartoclock::soa::SoaStats]) -> bool {
+    stats.iter().any(|s| s.capping_resets > 0)
+}
+
+#[test]
+fn runtime_survives_goa_silence() {
+    // Fault tolerance (§III-Q5): agents keep serving requests with stale
+    // budgets when no gOA messages arrive at all.
+    let model = soc_power::model::PowerModel::reference_server();
+    let runtime = RackRuntime::start(2, model, SoaConfig::reference(), PolicyKind::SmartOClock);
+    runtime.set_budget(0, Watts::new(450.0));
+    runtime.set_budget(1, Watts::new(450.0));
+    // ... and then the gOA goes silent forever.
+    for k in 0..10u64 {
+        let t = SimTime::ZERO + SimDuration::from_minutes(10 * k);
+        let req = OverclockRequest::metrics_based("vm", 4, model.plan().max_overclock());
+        let grant = runtime.request(k as usize % 2, t, req).expect("stale budgets keep working");
+        runtime.tick_all(t, &[Watts::new(250.0), Watts::new(250.0)], Some(RackSignal::Normal));
+        runtime.end(k as usize % 2, t + SimDuration::from_minutes(5), grant);
+    }
+    runtime.shutdown();
+}
