@@ -68,7 +68,10 @@ fn bench_split(c: &mut Criterion) {
         e_frac * 100.0,
         e_starved
     );
-    assert_eq!(h_starved, 0, "heterogeneous budgets never starve a server's regular draw");
+    assert_eq!(
+        h_starved, 0,
+        "heterogeneous budgets never starve a server's regular draw"
+    );
     assert!(
         e_starved > 0,
         "this workload should show the even split starving power-hungry servers"

@@ -7,10 +7,10 @@
 //! cooling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::time::SimDuration;
 use soc_power::units::Watts;
 use soc_reliability::thermal::{sustainable_duty_cycle, Cooling, ThermalModel};
 use soc_reliability::wear::WearModel;
-use simcore::time::SimDuration;
 use std::hint::black_box;
 
 fn bench_cooling(c: &mut Criterion) {
@@ -43,8 +43,11 @@ fn bench_cooling(c: &mut Criterion) {
             Watts::new(330.0),
         )
     };
-    let (air, liquid, immersion) =
-        (duty(Cooling::Air), duty(Cooling::Liquid), duty(Cooling::Immersion));
+    let (air, liquid, immersion) = (
+        duty(Cooling::Air),
+        duty(Cooling::Liquid),
+        duty(Cooling::Immersion),
+    );
     println!(
         "\n[ablation] sustainable overclock duty cycle: air {:.1}%, liquid {:.1}%, immersion {:.1}% \
          (paper §III-Q2: advanced cooling extends overclocking duration)",
@@ -52,7 +55,10 @@ fn bench_cooling(c: &mut Criterion) {
         liquid * 100.0,
         immersion * 100.0
     );
-    assert!(air < liquid && liquid < immersion, "cooling ordering must hold");
+    assert!(
+        air < liquid && liquid < immersion,
+        "cooling ordering must hold"
+    );
 }
 
 criterion_group!(benches, bench_cooling);

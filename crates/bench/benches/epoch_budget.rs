@@ -39,9 +39,10 @@ fn bench_budget(c: &mut Criterion) {
             || OverclockBudget::new(0.10, SimDuration::WEEK),
             |mut budget| {
                 for m in 0..200u64 {
-                    let _ = black_box(
-                        budget.consume(SimTime::ZERO + SimDuration::from_minutes(m), SimDuration::from_minutes(1)),
-                    );
+                    let _ = black_box(budget.consume(
+                        SimTime::ZERO + SimDuration::from_minutes(m),
+                        SimDuration::from_minutes(1),
+                    ));
                 }
             },
             BatchSize::SmallInput,

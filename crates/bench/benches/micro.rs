@@ -105,5 +105,11 @@ fn bench_soa_tick(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_power_model, bench_templates, bench_soa_tick);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_power_model,
+    bench_templates,
+    bench_soa_tick
+);
 criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Telemetry overhead micro-benchmark.
+//!
+//! The telemetry layer sits on the sOA's admission path and inside every
+//! control tick, so its disabled cost must be near zero: a disabled handle
+//! is a single `Option` check and the `tm_event!` macro never evaluates its
+//! fields. This bench pins that down by driving the same emission sites
+//! with a disabled handle, an in-memory sink, and the bare metrics
+//! registry, plus an instrumented sOA request/release cycle both ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simcore::time::SimTime;
+use smartoclock::config::SoaConfig;
+use smartoclock::messages::OverclockRequest;
+use smartoclock::policy::PolicyKind;
+use smartoclock::soa::ServerOverclockAgent;
+use soc_power::model::PowerModel;
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
+use std::hint::black_box;
+
+fn emit_one(tm: &Telemetry, i: u64) {
+    tm_event!(tm, SimTime::ZERO, Component::Soa, Severity::Info, "bench_event",
+        "server" => i,
+        "value" => 42.5f64,
+        "state" => "granted");
+}
+
+fn bench_emission(c: &mut Criterion) {
+    let disabled = Telemetry::disabled();
+    let (memory, sink) = Telemetry::memory();
+
+    c.bench_function("telemetry_event_disabled", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            emit_one(black_box(&disabled), black_box(i));
+        })
+    });
+
+    c.bench_function("telemetry_event_memory_sink", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            emit_one(black_box(&memory), black_box(i));
+            // Bound sink memory without paying a clear on every event.
+            if i.is_multiple_of(65536) {
+                sink.clear();
+            }
+        });
+        sink.clear();
+    });
+
+    c.bench_function("telemetry_counter_memory_sink", |b| {
+        b.iter(|| {
+            memory.metrics(|m| m.inc_counter("bench_counter", &[("server", 3usize.into())]));
+        })
+    });
+
+    c.bench_function("telemetry_histogram_memory_sink", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.1;
+            memory.metrics(|m| m.observe("bench_hist", &[], x % 500.0));
+        })
+    });
+}
+
+/// The end-to-end cost the harness actually pays: a full sOA
+/// request/release cycle with telemetry disabled vs. captured in memory.
+fn bench_soa_path(c: &mut Criterion) {
+    let model = PowerModel::reference_server();
+    let target = model.plan().max_overclock();
+    let request = |i: u64| OverclockRequest {
+        vm: format!("vm{}", i % 4),
+        cores: 4,
+        target,
+        expected_utilization: 0.7,
+        duration: None,
+        priority: 1,
+    };
+
+    let mut run_cycle = |label: &str, telemetry: Telemetry, drain: Option<&dyn Fn()>| {
+        let mut soa =
+            ServerOverclockAgent::new(model, SoaConfig::reference(), PolicyKind::SmartOClock);
+        soa.set_telemetry(telemetry, 0);
+        c.bench_function(label, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                if let Ok(id) = soa.request_overclock(SimTime::ZERO, black_box(request(i))) {
+                    soa.end_overclock(SimTime::ZERO, id);
+                }
+                if i.is_multiple_of(16384) {
+                    if let Some(drain) = drain {
+                        drain();
+                    }
+                }
+            })
+        });
+    };
+
+    run_cycle("soa_request_cycle_disabled", Telemetry::disabled(), None);
+    let (tm, sink) = Telemetry::memory();
+    let clear = || sink.clear();
+    run_cycle("soa_request_cycle_memory_sink", tm, Some(&clear));
+}
+
+criterion_group!(benches, bench_emission, bench_soa_path);
+criterion_main!(benches);

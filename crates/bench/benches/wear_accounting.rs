@@ -41,7 +41,12 @@ fn bench_wear_accounting(c: &mut Criterion) {
     c.bench_function("wearout_counter_record", |b| {
         let mut counter = WearoutCounter::new(model.clone());
         b.iter(|| {
-            counter.record(black_box(0.5), plan.turbo(), 60.0, SimDuration::from_minutes(5));
+            counter.record(
+                black_box(0.5),
+                plan.turbo(),
+                60.0,
+                SimDuration::from_minutes(5),
+            );
         })
     });
 
@@ -57,7 +62,10 @@ fn bench_wear_accounting(c: &mut Criterion) {
         online,
         online / offline.max(1e-9)
     );
-    assert!(online > offline, "online accounting must grant at least the offline budget");
+    assert!(
+        online > offline,
+        "online accounting must grant at least the offline budget"
+    );
 }
 
 criterion_group!(benches, bench_wear_accounting);

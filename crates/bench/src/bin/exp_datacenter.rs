@@ -39,7 +39,10 @@ fn main() {
             o.grants_nested.to_string(),
         ]);
     }
-    cli.emit("Extension: flat vs nested budget enforcement on a shared feed", &t);
+    cli.emit(
+        "Extension: flat vs nested budget enforcement on a shared feed",
+        &t,
+    );
     println!(
         "Nested (hierarchical) budgets keep the oversubscribed feed safe at the \
          cost of some grants; flat rack-local enforcement overloads it whenever \

@@ -13,12 +13,13 @@ use soc_cluster::harness::{ClusterConfig, ClusterSim, SystemKind};
 
 fn main() {
     let cli = Cli::from_env();
+    let telemetry = cli.telemetry();
     let run = |budget_scale: f64, proactive: bool| {
         let mut cfg = ClusterConfig::paper_reference(SystemKind::SmartOClock);
         cfg.seed = cli.seed;
         cfg.oc_budget_scale = budget_scale * 0.02; // shrink so the budget
-        // actually binds within the experiment duration (the paper's weekly
-        // budget is restricted the same relative way).
+                                                   // actually binds within the experiment duration (the paper's weekly
+                                                   // budget is restricted the same relative way).
         cfg.proactive_scaleout = proactive;
         if cli.fast {
             cfg.duration = SimDuration::from_minutes(6);
@@ -28,10 +29,10 @@ fn main() {
         } else {
             cfg.duration = SimDuration::from_minutes(40);
         }
-        eprintln!(
-            "running budget={budget_scale} proactive={proactive}...",
-        );
-        ClusterSim::new(cfg).run().violation_window_frac()
+        eprintln!("running budget={budget_scale} proactive={proactive}...",);
+        ClusterSim::with_telemetry(cfg, telemetry.clone())
+            .run()
+            .violation_window_frac()
     };
 
     // Baseline: unconstrained budget with proactive scaling. The metric is
@@ -50,7 +51,11 @@ fn main() {
         let proactive = (run(scale, true) - baseline).max(0.0);
         t.row(&[fmt_pct(scale), fmt_pct(reactive), fmt_pct(proactive)]);
     }
-    cli.emit("Overclocking-constrained environments (excess vs unconstrained)", &t);
+    telemetry.flush();
+    cli.emit(
+        "Overclocking-constrained environments (excess vs unconstrained)",
+        &t,
+    );
     println!(
         "paper: reactive misses SLOs 5.0%/6.1%/7.2% of the time at 75%/50%/25% budget; \
          proactive scale-out eliminates the violations"

@@ -14,6 +14,7 @@ use soc_workloads::socialnet::LoadLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let telemetry = cli.telemetry();
     let run = |system: SystemKind| {
         let mut cfg = ClusterConfig::paper_reference(system);
         cfg.seed = cli.seed;
@@ -25,10 +26,11 @@ fn main() {
             cfg.spare_servers = 3;
         }
         eprintln!("running {system} under a constrained rack limit...");
-        ClusterSim::new(cfg).run()
+        ClusterSim::with_telemetry(cfg, telemetry.clone()).run()
     };
     let naive = run(SystemKind::NaiveOClock);
     let smart = run(SystemKind::SmartOClock);
+    telemetry.flush();
 
     let mut t = Table::new(&["metric", "NaiveOClock", "SmartOClock", "delta"]);
     for load in [LoadLevel::Medium, LoadLevel::High] {
@@ -45,7 +47,10 @@ fn main() {
         "MLTrain relative throughput".into(),
         fmt_f64(naive.mltrain_relative_throughput, 3),
         fmt_f64(smart.mltrain_relative_throughput, 3),
-        pct_change(naive.mltrain_relative_throughput, smart.mltrain_relative_throughput),
+        pct_change(
+            naive.mltrain_relative_throughput,
+            smart.mltrain_relative_throughput,
+        ),
     ]);
     t.row(&[
         "rack capping events".into(),
@@ -59,7 +64,10 @@ fn main() {
         format!("{}/{}", smart.oc_requests.0, smart.oc_requests.1),
         "-".into(),
     ]);
-    cli.emit("Power-constrained environments (rack limit at 82% of normal)", &t);
+    cli.emit(
+        "Power-constrained environments (rack limit at 82% of normal)",
+        &t,
+    );
     println!(
         "paper: SmartOClock cuts tail latency 6.7%/8.4% (med/high) vs NaiveOClock \
          and lifts MLTrain throughput 10.4%"

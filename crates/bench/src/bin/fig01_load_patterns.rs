@@ -26,15 +26,17 @@ fn main() {
         .iter()
         .map(|s| TimeSeries::generate(day_start, day_end, step, |t| s.shape.utilization(t)))
         .collect();
-    let normalized: Vec<Vec<f64>> =
-        series.iter().map(|s| normalize_to_peak(s.values())).collect();
+    let normalized: Vec<Vec<f64>> = series
+        .iter()
+        .map(|s| normalize_to_peak(s.values()))
+        .collect();
 
     let mut full = Table::new(&["time", "ServiceA", "ServiceB", "ServiceC"]);
-    for i in 0..series[0].len() {
+    for (i, &a) in normalized[0].iter().enumerate() {
         let t = series[0].time_at_index(i);
         full.row(&[
             format!("{:05.2}h", t.time_of_day().as_hours_f64()),
-            fmt_f64(normalized[0][i], 3),
+            fmt_f64(a, 3),
             fmt_f64(normalized[1][i], 3),
             fmt_f64(normalized[2][i], 3),
         ]);
@@ -65,6 +67,9 @@ fn main() {
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
         .map(|(i, _)| i)
         .expect("non-empty");
-    let peak_hour = series[0].time_at_index(peak_idx).time_of_day().as_hours_f64();
+    let peak_hour = series[0]
+        .time_at_index(peak_idx)
+        .time_of_day()
+        .as_hours_f64();
     println!("ServiceA peak at {peak_hour:.1}h (paper: 10-12h window)");
 }

@@ -18,7 +18,9 @@ fn main() {
         SimDuration::from_secs(600)
     };
 
-    let mut fig2 = Table::new(&["service", "load", "env", "P99 (ms)", "SLO (ms)", "P99/SLO", "meets"]);
+    let mut fig2 = Table::new(&[
+        "service", "load", "env", "P99 (ms)", "SLO (ms)", "P99/SLO", "meets",
+    ]);
     let mut fig3 = Table::new(&["service", "load", "env", "CPU util"]);
     let mut summary_violations = 0usize;
     let mut summary_runs = 0usize;
@@ -34,7 +36,11 @@ fn main() {
                     fmt_f64(r.p99_ms, 1),
                     fmt_f64(r.slo_ms, 1),
                     fmt_f64(r.p99_ms / r.slo_ms, 2),
-                    if r.meets_slo() { "yes".into() } else { "NO".into() },
+                    if r.meets_slo() {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
                 ]);
                 fig3.row(&[
                     spec.name.clone(),
@@ -50,7 +56,10 @@ fn main() {
         }
     }
 
-    cli.emit("Fig. 2: SocialNet P99 latency by load and environment", &fig2);
+    cli.emit(
+        "Fig. 2: SocialNet P99 latency by load and environment",
+        &fig2,
+    );
     println!();
     println!("== Fig. 3: SocialNet CPU utilization ==");
     println!("{}", fig3.render());

@@ -48,7 +48,14 @@ fn main() {
     let overclocked = TimeSeries::sum_of(&[&rack.power, &total_extra]);
 
     // Weekday-hourly summary table (Mon-Fri).
-    let mut t = Table::new(&["day", "hour", "baseline (W)", "overclocked (W)", "limit (W)", "over?"]);
+    let mut t = Table::new(&[
+        "day",
+        "hour",
+        "baseline (W)",
+        "overclocked (W)",
+        "limit (W)",
+        "over?",
+    ]);
     let week_start = SimTime::ZERO;
     for day in 0..5u64 {
         for hour in (0..24u64).step_by(3) {
@@ -61,15 +68,22 @@ fn main() {
                 fmt_f64(base, 0),
                 fmt_f64(oc, 0),
                 fmt_f64(rack.limit.get(), 0),
-                if oc >= rack.limit.get() { "CAP".into() } else { "".into() },
+                if oc >= rack.limit.get() {
+                    "CAP".into()
+                } else {
+                    "".into()
+                },
             ]);
         }
     }
-    cli.emit("Fig. 6: rack power over 5 weekdays (baseline vs naive overclock)", &t);
+    cli.emit(
+        "Fig. 6: rack power over 5 weekdays (baseline vs naive overclock)",
+        &t,
+    );
 
     let limit = rack.limit.get();
-    let base_over =
-        rack.power.values().iter().filter(|&&p| p >= limit).count() as f64 / rack.power.len() as f64;
+    let base_over = rack.power.values().iter().filter(|&&p| p >= limit).count() as f64
+        / rack.power.len() as f64;
     let oc_over = overclocked.values().iter().filter(|&&p| p >= limit).count() as f64
         / overclocked.len() as f64;
     println!(

@@ -21,11 +21,19 @@ fn main() {
         AgeingPolicy::AlwaysOverclock,
         AgeingPolicy::OverclockAware { threshold },
     ];
-    let curves: Vec<Vec<f64>> =
-        policies.iter().map(|&p| cumulative_ageing(&model, &util, p)).collect();
+    let curves: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|&p| cumulative_ageing(&model, &util, p))
+        .collect();
 
     let samples_per_day = 288;
-    let mut t = Table::new(&["day", "Expected", "Non-overclocked", "Always overclock", "Overclock-aware"]);
+    let mut t = Table::new(&[
+        "day",
+        "Expected",
+        "Non-overclocked",
+        "Always overclock",
+        "Overclock-aware",
+    ]);
     for day in 1..=5usize {
         let idx = day * samples_per_day - 1;
         t.row(&[
@@ -36,10 +44,16 @@ fn main() {
             fmt_f64(curves[3][idx], 2),
         ]);
     }
-    cli.emit("Fig. 7: cumulative CPU ageing (days) under overclocking policies", &t);
+    cli.emit(
+        "Fig. 7: cumulative CPU ageing (days) under overclocking policies",
+        &t,
+    );
 
     let duty = overclock_aware_duty_cycle(&model, &util, threshold);
-    let finals: Vec<f64> = curves.iter().map(|c| *c.last().expect("non-empty")).collect();
+    let finals: Vec<f64> = curves
+        .iter()
+        .map(|c| *c.last().expect("non-empty"))
+        .collect();
     println!(
         "final ageing after 5 days — expected {:.1}, non-OC {:.1}, always-OC {:.1}, OC-aware {:.1}",
         finals[0], finals[1], finals[2], finals[3]

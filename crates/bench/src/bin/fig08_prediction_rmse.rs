@@ -21,7 +21,13 @@ fn main() {
     let racks = if cli.fast { 20 } else { 120 };
     let regions = ["Region 1", "Region 2", "Region 3", "Region 4"];
 
-    let mut t = Table::new(&["region", "P50 RMSE (W)", "P90 RMSE (W)", "P99 RMSE (W)", "P50 RMSE/mean"]);
+    let mut t = Table::new(&[
+        "region",
+        "P50 RMSE (W)",
+        "P90 RMSE (W)",
+        "P99 RMSE (W)",
+        "P50 RMSE/mean",
+    ]);
     for (r, region) in regions.iter().enumerate() {
         let mut cfg = FleetConfig::paper_reference(racks);
         cfg.region = region.to_string();

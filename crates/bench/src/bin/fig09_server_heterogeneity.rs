@@ -39,12 +39,19 @@ fn main() {
 
     // Normalize all six against the global peak across them (the figure's
     // y-axis is shared).
-    let global_peak = six.iter().map(|s| s.power.max()).fold(f64::NEG_INFINITY, f64::max);
-    let mut t = Table::new(&["time", "SrvA", "SrvB", "SrvC", "SrvD", "SrvE", "SrvF", "dominant"]);
+    let global_peak = six
+        .iter()
+        .map(|s| s.power.max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut t = Table::new(&[
+        "time", "SrvA", "SrvB", "SrvC", "SrvD", "SrvE", "SrvF", "dominant",
+    ]);
     for hour in (0..7 * 24).step_by(6) {
         let at = SimTime::ZERO + SimDuration::from_hours(hour);
-        let vals: Vec<f64> =
-            six.iter().map(|s| s.power.value_at(at).unwrap_or(f64::NAN) / global_peak).collect();
+        let vals: Vec<f64> = six
+            .iter()
+            .map(|s| s.power.value_at(at).unwrap_or(f64::NAN) / global_peak)
+            .collect();
         let dominant = vals
             .iter()
             .enumerate()

@@ -18,6 +18,7 @@ use soc_workloads::socialnet::LoadLevel;
 
 fn main() {
     let cli = Cli::from_env();
+    let telemetry = cli.telemetry();
     let systems = [
         SystemKind::Baseline,
         SystemKind::ScaleOut,
@@ -36,12 +37,20 @@ fn main() {
                 cfg.spare_servers = 3;
             }
             eprintln!("running {system}...");
-            ClusterSim::new(cfg).run()
+            ClusterSim::with_telemetry(cfg, telemetry.clone()).run()
         })
         .collect();
+    telemetry.flush();
 
     // Fig. 12: latency by load class.
-    let mut fig12 = Table::new(&["load", "metric", "Baseline", "ScaleOut", "ScaleUp", "SmartOClock"]);
+    let mut fig12 = Table::new(&[
+        "load",
+        "metric",
+        "Baseline",
+        "ScaleOut",
+        "ScaleUp",
+        "SmartOClock",
+    ]);
     for load in LoadLevel::ALL {
         fig12.row(&[
             load.to_string(),

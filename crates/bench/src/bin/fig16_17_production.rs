@@ -17,21 +17,43 @@ use soc_workloads::microservice::ServiceSpec;
 fn main() {
     let cli = Cli::from_env();
     let plan = FrequencyPlan::amd_reference();
-    let measure =
-        if cli.fast { SimDuration::from_secs(60) } else { SimDuration::from_secs(300) };
+    let measure = if cli.fast {
+        SimDuration::from_secs(60)
+    } else {
+        SimDuration::from_secs(300)
+    };
 
     // --- Fig. 16: Service B deployment: tens of VMs, hundreds of vcores.
     // Model one representative VM slice: capacity scaled so the deployment
     // peak lands at 1.8k RPS across 10 VMs (180 RPS per VM).
     let spec = ServiceSpec::new("ServiceB", 22.0, 1.1, 4);
     let vms = 10.0;
-    let mut fig16 = Table::new(&["RPS (deployment)", "util @turbo", "util @overclock", "delta"]);
+    let mut fig16 = Table::new(&[
+        "RPS (deployment)",
+        "util @turbo",
+        "util @overclock",
+        "delta",
+    ]);
     let mut peak_base = 0.0;
     let mut peak_oc = 0.0;
     for rps_k in [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8] {
         let per_vm = rps_k * 1000.0 / vms;
-        let base = run_at_rate(&spec, per_vm, Environment::Baseline, plan, measure, cli.seed);
-        let oc = run_at_rate(&spec, per_vm, Environment::Overclock, plan, measure, cli.seed);
+        let base = run_at_rate(
+            &spec,
+            per_vm,
+            Environment::Baseline,
+            plan,
+            measure,
+            cli.seed,
+        );
+        let oc = run_at_rate(
+            &spec,
+            per_vm,
+            Environment::Overclock,
+            plan,
+            measure,
+            cli.seed,
+        );
         if rps_k == 1.8 {
             peak_base = base.cpu_utilization;
             peak_oc = oc.cpu_utilization;
@@ -53,7 +75,14 @@ fn main() {
     let mut iso_rps = 0.0;
     for rps in (600..=1800).step_by(50) {
         let per_vm = rps as f64 / vms;
-        let r = run_at_rate(&spec, per_vm, Environment::Baseline, plan, measure, cli.seed);
+        let r = run_at_rate(
+            &spec,
+            per_vm,
+            Environment::Baseline,
+            plan,
+            measure,
+            cli.seed,
+        );
         if r.cpu_utilization <= peak_oc {
             iso_rps = rps as f64;
         }
@@ -84,12 +113,15 @@ fn main() {
         let oc_peak = (base_peak * ratio).min(1.0);
         base_peaks.push(base_peak);
         oc_peaks.push(oc_peak);
-        fig17.row(&[format!("{hour:02}h"), fmt_f64(base_peak, 3), fmt_f64(oc_peak, 3)]);
+        fig17.row(&[
+            format!("{hour:02}h"),
+            fmt_f64(base_peak, 3),
+            fmt_f64(oc_peak, 3),
+        ]);
     }
     println!("== Fig. 17: Service C 5-minute peak utilization over a weekday ==");
     println!("{}", fig17.render());
-    let mean_reduction = 1.0
-        - oc_peaks.iter().sum::<f64>() / base_peaks.iter().sum::<f64>();
+    let mean_reduction = 1.0 - oc_peaks.iter().sum::<f64>() / base_peaks.iter().sum::<f64>();
     println!(
         "mean 5-minute-peak reduction with overclocking: {} (paper: 16%)",
         fmt_pct(mean_reduction)

@@ -11,10 +11,10 @@
 //! events by ~19× vs NaiveOClock in high-power clusters.
 
 use simcore::report::{fmt_f64, fmt_pct, Table};
-use soc_bench::Cli;
-use soc_cluster::largescale::{simulate_policy, LargeScaleConfig};
-use soc_cluster::largescale_metrics::{power_groups, PolicyMetrics, RackOutcome};
 use smartoclock::policy::PolicyKind;
+use soc_bench::Cli;
+use soc_cluster::largescale::{simulate_policy_traced, LargeScaleConfig};
+use soc_cluster::largescale_metrics::{power_groups, PolicyMetrics, RackOutcome};
 use std::collections::HashMap;
 
 fn main() {
@@ -28,18 +28,23 @@ fn main() {
     }
 
     // Run every policy over the same fleet.
+    let telemetry = cli.telemetry();
     let mut outcomes: HashMap<PolicyKind, Vec<RackOutcome>> = HashMap::new();
     for policy in PolicyKind::ALL {
         eprintln!("simulating {policy} over {racks} racks...");
-        outcomes.insert(policy, simulate_policy(&config, policy));
+        outcomes.insert(policy, simulate_policy_traced(&config, policy, &telemetry));
     }
+    telemetry.flush();
 
     // Group racks by power (terciles of mean utilization), using the
     // baseline outcome set for grouping (identical across policies).
     let reference = &outcomes[&PolicyKind::Central];
     let (high, medium, low) = power_groups(reference);
-    let groups =
-        [("High-Power Clusters", high), ("Medium-Power Clusters", medium), ("Low-Power Clusters", low)];
+    let groups = [
+        ("High-Power Clusters", high),
+        ("Medium-Power Clusters", medium),
+        ("Low-Power Clusters", low),
+    ];
 
     let mut t = Table::new(&[
         "group",
@@ -59,9 +64,10 @@ fn main() {
                 .cloned()
                 .collect()
         };
-        let central_caps = PolicyMetrics::aggregate(PolicyKind::Central, &select(PolicyKind::Central))
-            .capping_steps
-            .max(1);
+        let central_caps =
+            PolicyMetrics::aggregate(PolicyKind::Central, &select(PolicyKind::Central))
+                .capping_steps
+                .max(1);
         for policy in PolicyKind::ALL {
             let m = PolicyMetrics::aggregate(policy, &select(policy));
             t.row(&[
@@ -74,7 +80,10 @@ fn main() {
             ]);
         }
     }
-    cli.emit(&format!("Table I: policy comparison over {racks} racks"), &t);
+    cli.emit(
+        &format!("Table I: policy comparison over {racks} racks"),
+        &t,
+    );
 
     // Headline deltas.
     let agg = |p: PolicyKind| PolicyMetrics::aggregate(p, &outcomes[&p]);

@@ -7,11 +7,14 @@
 //!   the default).
 //! * `--fast` — reduced scale for smoke runs.
 //! * `--csv <path>` — additionally write the table as CSV.
+//! * `--trace-out <path>` — write a JSONL telemetry trace of the run (the
+//!   `SOC_TRACE` environment variable is the equivalent fallback).
 //!
 //! This tiny library holds the shared CLI plumbing so the binaries stay
 //! focused on the experiment itself.
 
 use simcore::report::Table;
+use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 
 /// Parsed common CLI options.
@@ -23,18 +26,30 @@ pub struct Cli {
     pub fast: bool,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
+    /// Optional JSONL telemetry trace path (`--trace-out` / `SOC_TRACE`).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for Cli {
     fn default() -> Self {
-        Cli { seed: 42, fast: false, csv: None }
+        Cli {
+            seed: 42,
+            fast: false,
+            csv: None,
+            trace_out: None,
+        }
     }
 }
 
 impl Cli {
-    /// Parse from `std::env::args`, ignoring unknown flags.
+    /// Parse from `std::env::args`, ignoring unknown flags. The `SOC_TRACE`
+    /// environment variable supplies `trace_out` when the flag is absent.
     pub fn from_env() -> Cli {
-        Cli::parse(std::env::args().skip(1))
+        let mut cli = Cli::parse(std::env::args().skip(1));
+        if cli.trace_out.is_none() {
+            cli.trace_out = std::env::var_os("SOC_TRACE").map(PathBuf::from);
+        }
+        cli
     }
 
     /// Parse from an explicit iterator (testable).
@@ -52,10 +67,31 @@ impl Cli {
                 }
                 "--fast" => cli.fast = true,
                 "--csv" => cli.csv = iter.next().map(PathBuf::from),
+                "--trace-out" => cli.trace_out = iter.next().map(PathBuf::from),
                 _ => {}
             }
         }
         cli
+    }
+
+    /// The telemetry handle implied by `--trace-out` / `SOC_TRACE`: a JSONL
+    /// file sink when a path was given, the zero-overhead disabled handle
+    /// otherwise. Call [`Telemetry::flush`] (or drop every clone) before the
+    /// process exits so the file buffer is written out.
+    pub fn telemetry(&self) -> Telemetry {
+        match &self.trace_out {
+            Some(path) => match Telemetry::jsonl(path) {
+                Ok(tm) => {
+                    eprintln!("tracing to {}", path.display());
+                    tm
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot open trace file {}: {e}", path.display());
+                    Telemetry::disabled()
+                }
+            },
+            None => Telemetry::disabled(),
+        }
     }
 
     /// Print the table with a heading and honor `--csv`.
@@ -102,6 +138,18 @@ mod tests {
         assert_eq!(cli.seed, 7);
         assert!(cli.fast);
         assert_eq!(cli.csv.unwrap().to_str().unwrap(), "/tmp/out.csv");
+    }
+
+    #[test]
+    fn parses_trace_out() {
+        let cli = parse(&["--trace-out", "/tmp/trace.jsonl"]);
+        assert_eq!(cli.trace_out.unwrap().to_str().unwrap(), "/tmp/trace.jsonl");
+        assert!(parse(&[]).trace_out.is_none());
+    }
+
+    #[test]
+    fn telemetry_disabled_without_trace_out() {
+        assert!(!parse(&[]).telemetry().is_enabled());
     }
 
     #[test]

@@ -151,10 +151,22 @@ mod tests {
         let always = last(AgeingPolicy::AlwaysOverclock);
         let aware = last(AgeingPolicy::OverclockAware { threshold: 0.5 });
         assert!((expected - 5.0).abs() < 1e-9);
-        assert!(non_oc < 0.6 * expected, "non-OC {non_oc} vs expected {expected}");
-        assert!(always > expected, "always-OC {always} must exceed expected {expected}");
-        assert!(aware <= expected + 1e-9, "OC-aware {aware} must not exceed expected");
-        assert!(aware > non_oc, "OC-aware spends credits, so it ages more than non-OC");
+        assert!(
+            non_oc < 0.6 * expected,
+            "non-OC {non_oc} vs expected {expected}"
+        );
+        assert!(
+            always > expected,
+            "always-OC {always} must exceed expected {expected}"
+        );
+        assert!(
+            aware <= expected + 1e-9,
+            "OC-aware {aware} must not exceed expected"
+        );
+        assert!(
+            aware > non_oc,
+            "OC-aware spends credits, so it ages more than non-OC"
+        );
     }
 
     #[test]
@@ -186,6 +198,9 @@ mod tests {
     #[test]
     fn names_match_legend() {
         assert_eq!(AgeingPolicy::Expected.name(), "Expected ageing");
-        assert_eq!(AgeingPolicy::OverclockAware { threshold: 0.5 }.name(), "Overclock-aware");
+        assert_eq!(
+            AgeingPolicy::OverclockAware { threshold: 0.5 }.name(),
+            "Overclock-aware"
+        );
     }
 }

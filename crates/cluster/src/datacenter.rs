@@ -101,16 +101,23 @@ pub struct DatacenterOutcome {
 /// Panics if the configuration is degenerate (`racks == 0`, `weeks < 2`).
 pub fn simulate_datacenter(config: &DatacenterConfig) -> DatacenterOutcome {
     assert!(config.racks > 0, "need at least one rack");
-    assert!(config.weeks >= 2, "need a training week and an evaluation span");
+    assert!(
+        config.weeks >= 2,
+        "need a training week and an evaluation span"
+    );
     let generator = TraceGenerator::new(config.seed);
     let mut fleet_cfg = FleetConfig::small_test();
     fleet_cfg.racks = config.racks;
     fleet_cfg.span = SimDuration::WEEK * config.weeks;
     fleet_cfg.step = config.step;
     fleet_cfg.keep_server_series = true;
-    let racks: Vec<RackTrace> =
-        (0..config.racks).map(|r| generator.generate_rack(&fleet_cfg, r)).collect();
-    let models: Vec<_> = racks.iter().map(|r| generator.model_for(r.generation)).collect();
+    let racks: Vec<RackTrace> = (0..config.racks)
+        .map(|r| generator.generate_rack(&fleet_cfg, r))
+        .collect();
+    let models: Vec<_> = racks
+        .iter()
+        .map(|r| generator.model_for(r.generation))
+        .collect();
 
     let rack_limit_sum: Watts = racks.iter().map(|r| r.limit).sum();
     let feed = rack_limit_sum * config.feed_fraction;
@@ -141,8 +148,11 @@ pub fn simulate_datacenter(config: &DatacenterConfig) -> DatacenterOutcome {
                             .min(model.cores());
                         DemandProfile {
                             regular: Watts::new(s.power.value_at(t).unwrap_or(0.0)),
-                            overclock_demand: model
-                                .overclock_delta(util.clamp(0.0, 1.0), cores, oc_freq),
+                            overclock_demand: model.overclock_delta(
+                                util.clamp(0.0, 1.0),
+                                cores,
+                                oc_freq,
+                            ),
                         }
                     })
                     .collect()
@@ -192,18 +202,28 @@ mod tests {
     use super::*;
 
     fn profile(regular: f64, demand: f64) -> DemandProfile {
-        DemandProfile { regular: Watts::new(regular), overclock_demand: Watts::new(demand) }
+        DemandProfile {
+            regular: Watts::new(regular),
+            overclock_demand: Watts::new(demand),
+        }
     }
 
     #[test]
     fn nested_split_conserves_at_both_levels() {
         let racks = vec![
             vec![profile(300.0, 40.0), profile(200.0, 0.0)],
-            vec![profile(250.0, 20.0), profile(250.0, 20.0), profile(100.0, 0.0)],
+            vec![
+                profile(250.0, 20.0),
+                profile(250.0, 20.0),
+                profile(100.0, 0.0),
+            ],
         ];
         let budgets = nested_split(Watts::new(1500.0), &racks);
         let total: f64 = budgets.iter().flatten().map(|b| b.get()).sum();
-        assert!((total - 1500.0).abs() < 1e-6, "datacenter budget must be conserved");
+        assert!(
+            (total - 1500.0).abs() < 1e-6,
+            "datacenter budget must be conserved"
+        );
         // Every server keeps at least its regular draw (feasible case).
         for (r, rack) in racks.iter().enumerate() {
             for (s, p) in rack.iter().enumerate() {
@@ -214,14 +234,14 @@ mod tests {
 
     #[test]
     fn demanding_rack_gets_more_headroom() {
-        let racks = vec![
-            vec![profile(300.0, 100.0)],
-            vec![profile(300.0, 10.0)],
-        ];
+        let racks = vec![vec![profile(300.0, 100.0)], vec![profile(300.0, 10.0)]];
         let budgets = nested_split(Watts::new(900.0), &racks);
         let extra0 = budgets[0][0].get() - 300.0;
         let extra1 = budgets[1][0].get() - 300.0;
-        assert!(extra0 > extra1, "the demanding rack should receive more headroom");
+        assert!(
+            extra0 > extra1,
+            "the demanding rack should receive more headroom"
+        );
     }
 
     #[test]
@@ -238,7 +258,10 @@ mod tests {
         // Nested admission is more conservative, so it grants no more.
         assert!(outcome.grants_nested <= outcome.grants_flat);
         // But it still grants something — it does not simply reject all.
-        assert!(outcome.grants_nested > 0, "nested admission must keep granting");
+        assert!(
+            outcome.grants_nested > 0,
+            "nested admission must keep granting"
+        );
     }
 
     #[test]

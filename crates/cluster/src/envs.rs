@@ -26,8 +26,11 @@ pub enum Environment {
 
 impl Environment {
     /// All environments in figure order.
-    pub const ALL: [Environment; 3] =
-        [Environment::Baseline, Environment::Overclock, Environment::ScaleOut];
+    pub const ALL: [Environment; 3] = [
+        Environment::Baseline,
+        Environment::Overclock,
+        Environment::ScaleOut,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -141,7 +144,10 @@ mod tests {
     fn environments_set_expected_topology() {
         let plan = FrequencyPlan::amd_reference();
         assert_eq!(Environment::Baseline.setup(plan), (1, MegaHertz::new(3300)));
-        assert_eq!(Environment::Overclock.setup(plan), (1, MegaHertz::new(4000)));
+        assert_eq!(
+            Environment::Overclock.setup(plan),
+            (1, MegaHertz::new(4000))
+        );
         assert_eq!(Environment::ScaleOut.setup(plan), (2, MegaHertz::new(3300)));
     }
 
@@ -149,7 +155,11 @@ mod tests {
     fn all_environments_fine_at_low_load() {
         for env in Environment::ALL {
             let r = quick("UserTimeline", LoadLevel::Low, env);
-            assert!(r.meets_slo(), "{env} should meet SLO at low load (p99 {})", r.p99_ms);
+            assert!(
+                r.meets_slo(),
+                "{env} should meet SLO at low load (p99 {})",
+                r.p99_ms
+            );
         }
     }
 

@@ -26,6 +26,7 @@ use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
 use soc_power::model::PowerModel;
 use soc_power::rack::{prioritized_shed, CapCandidate, RackMonitor, RackSignal};
 use soc_power::units::{MegaHertz, Watts};
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_workloads::loadgen::RateSchedule;
 use soc_workloads::microservice::MicroserviceSim;
 use soc_workloads::mltrain::MlTrain;
@@ -69,7 +70,10 @@ impl SystemKind {
     }
 
     fn overclocks(self) -> bool {
-        matches!(self, SystemKind::ScaleUp | SystemKind::NaiveOClock | SystemKind::SmartOClock)
+        matches!(
+            self,
+            SystemKind::ScaleUp | SystemKind::NaiveOClock | SystemKind::SmartOClock
+        )
     }
 
     fn scales_out(self) -> bool {
@@ -208,7 +212,11 @@ impl ClusterResult {
 
     /// Total missed SLOs across instances of a load class.
     pub fn missed_by_load(&self, load: LoadLevel) -> u64 {
-        self.instances.iter().filter(|i| i.load == load).map(|i| i.missed).sum()
+        self.instances
+            .iter()
+            .filter(|i| i.load == load)
+            .map(|i| i.missed)
+            .sum()
     }
 
     /// Fraction of observation windows violating the SLO, averaged over all
@@ -217,14 +225,25 @@ impl ClusterResult {
         if self.instances.is_empty() {
             return 0.0;
         }
-        self.instances.iter().map(|i| i.violation_window_frac).sum::<f64>()
+        self.instances
+            .iter()
+            .map(|i| i.violation_window_frac)
+            .sum::<f64>()
             / self.instances.len() as f64
     }
 }
 
-fn mean_by(instances: &[InstanceResult], load: LoadLevel, f: impl Fn(&InstanceResult) -> f64) -> f64 {
-    let vals: Vec<f64> =
-        instances.iter().filter(|i| i.load == load).map(f).filter(|v| !v.is_nan()).collect();
+fn mean_by(
+    instances: &[InstanceResult],
+    load: LoadLevel,
+    f: impl Fn(&InstanceResult) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = instances
+        .iter()
+        .filter(|i| i.load == load)
+        .map(f)
+        .filter(|v| !v.is_nan())
+        .collect();
     if vals.is_empty() {
         f64::NAN
     } else {
@@ -285,6 +304,7 @@ pub struct ClusterSim {
     vm_count_samples: Vec<f64>,
     capped_ticks: u64,
     policy_kind: PolicyKind,
+    telemetry: Telemetry,
 }
 
 impl ClusterSim {
@@ -293,7 +313,10 @@ impl ClusterSim {
     /// # Panics
     /// Panics if the configuration has no SocialNet servers.
     pub fn new(config: ClusterConfig) -> ClusterSim {
-        assert!(config.socialnet_servers > 0, "need at least one SocialNet server");
+        assert!(
+            config.socialnet_servers > 0,
+            "need at least one SocialNet server"
+        );
         let model = PowerModel::reference_server();
         let plan = model.plan();
         let specs = socialnet_services();
@@ -307,8 +330,7 @@ impl ClusterSim {
         let oc_server_count = config.socialnet_servers + config.spare_servers;
         let mut soas: Vec<ServerOverclockAgent> = (0..oc_server_count)
             .map(|_| {
-                let mut soa =
-                    ServerOverclockAgent::new(model, SoaConfig::reference(), policy_kind);
+                let mut soa = ServerOverclockAgent::new(model, SoaConfig::reference(), policy_kind);
                 if config.oc_budget_scale < 1.0 {
                     soa.scale_lifetime_budget(config.oc_budget_scale);
                 }
@@ -345,7 +367,11 @@ impl ClusterSim {
                 load,
                 wi,
                 local: LocalWiAgent::new(0.5),
-                slots: vec![VmSlot { server: i, first_core: 0, cores: spec.cores_per_vm }],
+                slots: vec![VmSlot {
+                    server: i,
+                    first_core: 0,
+                    cores: spec.cores_per_vm,
+                }],
                 grants: vec![None],
                 pending_boots: Vec::new(),
                 latencies: Vec::new(),
@@ -363,8 +389,9 @@ impl ClusterSim {
             free_core[i] = inst.slots[0].cores;
         }
 
-        let mltrain: Vec<MlTrain> =
-            (0..config.mltrain_servers).map(|_| MlTrain::new(plan.turbo(), 0.85)).collect();
+        let mltrain: Vec<MlTrain> = (0..config.mltrain_servers)
+            .map(|_| MlTrain::new(plan.turbo(), 0.85))
+            .collect();
 
         // Rack provisioning: the paper's cluster is "all 28 from one rack,
         // and 8 from another during scale-out" (§V-A) — the monitored rack
@@ -421,17 +448,47 @@ impl ClusterSim {
             vm_count_samples: Vec::new(),
             capped_ticks: 0,
             policy_kind,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Build the cluster with a telemetry handle. Every sOA is wired to the
+    /// same handle (labelled by server index) and the harness itself emits
+    /// capping, budget, and run-lifecycle events under
+    /// [`Component::Harness`].
+    ///
+    /// # Panics
+    /// Panics if the configuration has no SocialNet servers.
+    pub fn with_telemetry(config: ClusterConfig, telemetry: Telemetry) -> ClusterSim {
+        let mut sim = ClusterSim::new(config);
+        sim.set_telemetry(telemetry);
+        sim
+    }
+
+    /// Install (or replace) the telemetry handle on the harness and its sOAs.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for (s, soa) in self.soas.iter_mut().enumerate() {
+            soa.set_telemetry(telemetry.clone(), s);
+        }
+        self.telemetry = telemetry;
     }
 
     /// Run to completion and report.
     pub fn run(mut self) -> ClusterResult {
-        let ticks = (self.config.duration.as_micros() / self.config.tick.as_micros()) as u64;
+        let ticks = self.config.duration.as_micros() / self.config.tick.as_micros();
+        let tm = self.telemetry.clone();
+        tm_event!(tm, SimTime::ZERO, Component::Harness, Severity::Info, "run_start",
+            "system" => self.config.system.name(),
+            "socialnet_servers" => self.config.socialnet_servers,
+            "mltrain_servers" => self.config.mltrain_servers,
+            "spare_servers" => self.config.spare_servers,
+            "ticks" => ticks);
+        let span = tm.span(SimTime::ZERO, Component::Harness, "cluster_run");
         let mut budget_refresh = 0u64;
         // Heterogeneous budgets apply from the start (the gOA computed them
         // from last week's profiles before this experiment began).
         if self.config.system == SystemKind::SmartOClock {
-            self.refresh_budgets();
+            self.refresh_budgets(SimTime::ZERO);
         }
         for k in 1..=ticks {
             let now = SimTime::ZERO + self.config.tick * k;
@@ -445,9 +502,16 @@ impl ClusterSim {
                     >= SimDuration::from_minutes(2).as_micros() as u128
             {
                 budget_refresh = 0;
-                self.refresh_budgets();
+                self.refresh_budgets(now);
             }
         }
+        let end = SimTime::ZERO + self.config.tick * ticks;
+        tm_event!(tm, end, Component::Harness, Severity::Info, "run_end",
+            "system" => self.config.system.name(),
+            "capping_ticks" => self.capped_ticks,
+            "total_energy_j" => self.total_energy_j);
+        span.field("ticks", ticks).end(end);
+        tm.flush();
         self.finish()
     }
 
@@ -472,8 +536,9 @@ impl ClusterSim {
         }
 
         // 2. Advance the queueing sims and gather window stats.
+        let tm = self.telemetry.clone();
         let mut metrics: Vec<VmMetrics> = Vec::with_capacity(self.instances.len());
-        for inst in &mut self.instances {
+        for (idx, inst) in self.instances.iter_mut().enumerate() {
             let stats = inst.sim.advance_window(now);
             inst.windows += 1;
             if !stats.p99_ms.is_nan() {
@@ -489,7 +554,7 @@ impl ClusterSim {
                 cpu_utilization: stats.cpu_utilization,
                 queue_length: inst.sim.in_system() as f64,
             };
-            metrics.push(inst.local.observe(raw));
+            metrics.push(inst.local.observe_traced(now, raw, &tm, idx));
         }
 
         // 3. Control decisions.
@@ -507,8 +572,8 @@ impl ClusterSim {
 
         // 5. sOA control ticks (overclocking systems only).
         if system.overclocks() && system != SystemKind::ScaleUp {
-            for s in 0..self.soas.len() {
-                let events = self.soas[s].control_tick(now, powers[s], self.last_signal);
+            for (s, &power) in powers.iter().enumerate().take(self.soas.len()) {
+                let events = self.soas[s].control_tick(now, power, self.last_signal);
                 self.apply_soa_events(now, s, &events);
             }
         }
@@ -539,8 +604,33 @@ impl ClusterSim {
         if signal == RackSignal::Capping {
             self.capped_ticks += 1;
         }
+        if self.telemetry.is_enabled() {
+            self.telemetry.metrics(|m| {
+                m.set_gauge(
+                    "rack_power_w",
+                    &[("rack", 0usize.into())],
+                    rack1_total.get(),
+                );
+                m.inc_counter("harness_ticks", &[]);
+            });
+            match signal {
+                RackSignal::Capping => {
+                    tm_event!(self.telemetry, now, Component::Harness, Severity::Error,
+                        "rack_capping",
+                        "rack_power_w" => rack1_total.get(),
+                        "limit_w" => self.rack.limit().get());
+                }
+                RackSignal::Warning => {
+                    tm_event!(self.telemetry, now, Component::Harness, Severity::Warn,
+                        "rack_warning",
+                        "rack_power_w" => rack1_total.get(),
+                        "limit_w" => self.rack.limit().get());
+                }
+                RackSignal::Normal => {}
+            }
+        }
         self.last_signal = Some(signal);
-        self.apply_capping(signal, &powers, &metrics);
+        self.apply_capping(now, signal, &powers, &metrics);
 
         // 7. Advance MLTrain with its effective frequency.
         for (j, job) in self.mltrain.iter_mut().enumerate() {
@@ -557,9 +647,8 @@ impl ClusterSim {
     /// Horizontal autoscaler (the ScaleOut system): add a VM when the
     /// (smoothed) tail exceeds the SLO, remove one when far below.
     fn autoscale_horizontal(&mut self, now: SimTime, metrics: &[VmMetrics]) {
-        for idx in 0..self.instances.len() {
+        for (idx, &m) in metrics.iter().enumerate().take(self.instances.len()) {
             let slo = self.instances[idx].sim.spec().slo_ms();
-            let m = metrics[idx];
             let inst = &mut self.instances[idx];
             if now < inst.scale_cooldown_until || m.tail_latency_ms.is_nan() {
                 continue;
@@ -598,9 +687,10 @@ impl ClusterSim {
     /// SmartOClock / NaiveOClock control: WI decisions → sOA requests.
     fn smartoclock_control(&mut self, now: SimTime, metrics: &[VmMetrics]) {
         let plan = self.model.plan();
-        for idx in 0..self.instances.len() {
-            self.instances[idx].wi.report(vec![metrics[idx]]);
-            let decision = self.instances[idx].wi.decide(now);
+        let tm = self.telemetry.clone();
+        for (idx, &m) in metrics.iter().enumerate().take(self.instances.len()) {
+            self.instances[idx].wi.report(vec![m]);
+            let decision = self.instances[idx].wi.decide_traced(now, &tm, idx);
             let spec_cores = self.instances[idx].sim.spec().cores_per_vm;
             if decision.overclock {
                 // Request a grant for every VM that lacks one.
@@ -613,7 +703,7 @@ impl ClusterSim {
                         vm: format!("svc{idx}-vm{vm}"),
                         cores: spec_cores,
                         target: plan.max_overclock(),
-                        expected_utilization: metrics[idx].cpu_utilization.clamp(0.0, 1.0),
+                        expected_utilization: m.cpu_utilization.clamp(0.0, 1.0),
                         duration: None,
                         priority: 1 + self.instances[idx].load as u32,
                     };
@@ -632,7 +722,7 @@ impl ClusterSim {
                 // SmartOClock provides the best performance").
                 let fully_oc = self.instances[idx].grants.iter().all(Option::is_some);
                 let slo = self.instances[idx].sim.spec().slo_ms();
-                if fully_oc && metrics[idx].tail_latency_ms > slo {
+                if fully_oc && m.tail_latency_ms > slo {
                     self.instances[idx].saturated_windows += 1;
                 } else {
                     self.instances[idx].saturated_windows = 0;
@@ -641,7 +731,9 @@ impl ClusterSim {
                     && self.instances[idx].saturated_windows >= 5
                     && now >= self.instances[idx].scale_cooldown_until
                 {
-                    self.instances[idx].pending_boots.push(now + self.config.boot_delay);
+                    self.instances[idx]
+                        .pending_boots
+                        .push(now + self.config.boot_delay);
                     self.instances[idx].scale_cooldown_until = now + SimDuration::from_secs(60);
                     self.instances[idx].saturated_windows = 0;
                 }
@@ -671,7 +763,9 @@ impl ClusterSim {
                 && now >= self.instances[idx].scale_cooldown_until
             {
                 for _ in 0..decision.scale_out {
-                    self.instances[idx].pending_boots.push(now + self.config.boot_delay);
+                    self.instances[idx]
+                        .pending_boots
+                        .push(now + self.config.boot_delay);
                 }
                 self.instances[idx].scale_cooldown_until = now + SimDuration::from_secs(60);
             }
@@ -730,7 +824,9 @@ impl ClusterSim {
         let mut core_states: Vec<Vec<soc_power::model::CoreState>> =
             vec![Vec::new(); total_servers];
         for (idx, inst) in self.instances.iter().enumerate() {
-            let util = metrics.get(idx).map_or(0.0, |m| m.cpu_utilization.clamp(0.0, 1.0));
+            let util = metrics
+                .get(idx)
+                .map_or(0.0, |m| m.cpu_utilization.clamp(0.0, 1.0));
             for (vm, slot) in inst.slots.iter().enumerate() {
                 if vm >= inst.sim.active_vms() {
                     continue;
@@ -751,14 +847,16 @@ impl ClusterSim {
                     powers.push(Watts::ZERO);
                     continue;
                 }
-                let truncated: Vec<_> =
-                    states.iter().copied().take(self.model.cores()).collect();
+                let truncated: Vec<_> = states.iter().copied().take(self.model.cores()).collect();
                 powers.push(self.model.server_power(&truncated));
             } else {
                 // MLTrain server: uniform high utilization.
                 let j = s - oc_server_count;
                 let f = self.caps[s].unwrap_or(plan.turbo()).min(plan.turbo());
-                powers.push(self.model.server_power_uniform(self.mltrain[j].utilization(), f));
+                powers.push(
+                    self.model
+                        .server_power_uniform(self.mltrain[j].utilization(), f),
+                );
             }
         }
         powers
@@ -767,13 +865,22 @@ impl ClusterSim {
     /// Prioritized capping: when the rack hits its limit, shed power from
     /// low-priority servers first by imposing frequency caps; clear caps
     /// once the rack is healthy again.
-    fn apply_capping(&mut self, signal: RackSignal, powers: &[Watts], metrics: &[VmMetrics]) {
+    fn apply_capping(
+        &mut self,
+        now: SimTime,
+        signal: RackSignal,
+        powers: &[Watts],
+        metrics: &[VmMetrics],
+    ) {
         let plan = self.model.plan();
         if signal != RackSignal::Capping {
             if !self.rack.is_capping() && self.caps.iter().any(Option::is_some) {
+                let cleared = self.caps.iter().filter(|c| c.is_some()).count();
                 for c in &mut self.caps {
                     *c = None;
                 }
+                tm_event!(self.telemetry, now, Component::Harness, Severity::Info,
+                    "caps_cleared", "servers" => cleared);
                 // Restore throttled VMs: grants recover via the sOA feedback
                 // loop; everyone else returns to turbo immediately.
                 for idx in 0..self.instances.len() {
@@ -795,12 +902,15 @@ impl ClusterSim {
             // degrades every workload on the rack, latency-critical or not —
             // the 30-50 % frequency hits §III describes.
             let slam = MegaHertz::new((plan.base().get() + plan.turbo().get()) / 2);
+            let mut capped = Vec::new();
             for s in 0..powers.len() {
                 if self.is_spare(s) {
                     continue;
                 }
                 self.caps[s] = Some(slam);
+                capped.push(s);
             }
+            self.trace_capping(now, &capped);
         } else {
             let candidates: Vec<CapCandidate> = powers
                 .iter()
@@ -816,10 +926,13 @@ impl ClusterSim {
                 })
                 .collect();
             let sheds = prioritized_shed(&candidates, self.rack.limit() * 0.98);
+            let mut capped = Vec::new();
             for (s, shed) in sheds {
                 let target = powers[s] - shed;
                 self.caps[s] = Some(self.cap_frequency_for(s, target, metrics));
+                capped.push(s);
             }
+            self.trace_capping(now, &capped);
         }
         // Apply caps to the queueing sims immediately.
         for idx in 0..self.instances.len() {
@@ -829,10 +942,45 @@ impl ClusterSim {
                 }
                 let server = self.instances[idx].slots[vm].server;
                 if let Some(cap) = self.caps[server] {
-                    let f = self.instances[idx].sim.vm_frequency(vm).min(cap).max(plan.base());
+                    let f = self.instances[idx]
+                        .sim
+                        .vm_frequency(vm)
+                        .min(cap)
+                        .max(plan.base());
                     self.instances[idx].sim.set_vm_frequency(vm, f);
                 }
             }
+        }
+    }
+
+    /// Telemetry for a capping pass: one `cap_set` per newly capped server,
+    /// and one `revoke` (reason `cap`) per overclocking grant on a capped
+    /// server — a frequency cap below the granted target effectively revokes
+    /// the grant until the rack recovers.
+    fn trace_capping(&self, now: SimTime, capped: &[usize]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut revoked: Vec<(usize, u64, usize, usize)> = Vec::new();
+        for &s in capped {
+            let cap = self.caps[s].map_or(0, MegaHertz::get);
+            tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "cap_set",
+                "server" => s, "cap_mhz" => cap);
+            for (&(srv, grant), &(idx, vm)) in &self.grant_owner {
+                if srv == s {
+                    revoked.push((srv, grant.0, idx, vm));
+                }
+            }
+        }
+        // HashMap iteration order is arbitrary; sort so traces are
+        // deterministic across runs.
+        revoked.sort_unstable();
+        for (server, grant, idx, vm) in revoked {
+            tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "revoke",
+                "server" => server, "grant" => grant, "service" => idx, "vm" => vm,
+                "reason" => "cap");
+            self.telemetry
+                .metrics(|m| m.inc_counter("harness_revokes", &[("reason", "cap".into())]));
         }
     }
 
@@ -847,8 +995,8 @@ impl ClusterSim {
             for (idx, inst) in self.instances.iter().enumerate() {
                 for (vm, slot) in inst.slots.iter().enumerate() {
                     if slot.server == s && vm < inst.sim.active_vms() {
-                        total += metrics.get(idx).map_or(0.0, |m| m.cpu_utilization)
-                            * slot.cores as f64;
+                        total +=
+                            metrics.get(idx).map_or(0.0, |m| m.cpu_utilization) * slot.cores as f64;
                     }
                 }
             }
@@ -868,7 +1016,7 @@ impl ClusterSim {
     }
 
     /// Recompute heterogeneous budgets from current demand (gOA role).
-    fn refresh_budgets(&mut self) {
+    fn refresh_budgets(&mut self, now: SimTime) {
         let oc_server_count = self.config.socialnet_servers + self.config.spare_servers;
         let total_servers = oc_server_count + self.config.mltrain_servers;
         // MLTrain servers keep their regular draw; they never overclock.
@@ -891,20 +1039,31 @@ impl ClusterSim {
             });
         }
         for _ in 0..self.config.mltrain_servers {
-            demands.push(DemandProfile { regular: ml_power, overclock_demand: Watts::ZERO });
+            demands.push(DemandProfile {
+                regular: ml_power,
+                overclock_demand: Watts::ZERO,
+            });
         }
         // Spares live in the adequately-provisioned second rack: their sOAs
         // get a fixed ample budget and do not participate in the rack-1
         // split.
-        let rack1: Vec<usize> =
-            (0..total_servers).filter(|&s| !self.is_spare(s)).collect();
-        let rack1_demands: Vec<DemandProfile> =
-            rack1.iter().map(|&s| demands[s]).collect();
+        let rack1: Vec<usize> = (0..total_servers).filter(|&s| !self.is_spare(s)).collect();
+        let rack1_demands: Vec<DemandProfile> = rack1.iter().map(|&s| demands[s]).collect();
         let budgets = if self.policy_kind.heterogeneous_budgets() {
             heterogeneous_split(self.rack.limit(), &rack1_demands)
         } else {
             vec![self.rack.limit() / rack1_demands.len() as f64; rack1_demands.len()]
         };
+        if self.telemetry.is_enabled() {
+            let allocated: f64 = budgets.iter().map(|b| b.get()).sum();
+            tm_event!(self.telemetry, now, Component::Goa, Severity::Info, "budget_split",
+                "rack" => 0usize,
+                "servers" => budgets.len(),
+                "rack_limit_w" => self.rack.limit().get(),
+                "allocated_w" => allocated);
+            self.telemetry
+                .metrics(|m| m.inc_counter("goa_budget_splits", &[("rack", 0usize.into())]));
+        }
         for (&s, &b) in rack1.iter().zip(&budgets) {
             if s < oc_server_count {
                 self.soas[s].set_power_budget(b);
@@ -940,24 +1099,34 @@ impl ClusterSim {
         // SocialNet servers can be filled.
         let socialnet_servers = self.config.socialnet_servers;
         let fits = |s: &usize| {
-            let cap = if *s >= socialnet_servers { 2 * cores } else { self.model.cores() };
+            let cap = if *s >= socialnet_servers {
+                2 * cores
+            } else {
+                self.model.cores()
+            };
             self.free_core[*s] + cores <= cap
         };
-        let first_fit = |pool: Vec<usize>| -> Option<usize> {
-            pool.into_iter().find(|s| fits(s))
-        };
+        let first_fit = |pool: Vec<usize>| -> Option<usize> { pool.into_iter().find(|s| fits(s)) };
         let spare: Vec<usize> = (self.config.socialnet_servers..oc_server_count).collect();
-        let social: Vec<usize> =
-            (0..self.config.socialnet_servers).filter(|&s| s != home).collect();
-        let Some(server) = first_fit(spare)
-            .or_else(|| first_fit(social))
-            .or_else(|| if fits(&home) { Some(home) } else { None })
-        else {
+        let social: Vec<usize> = (0..self.config.socialnet_servers)
+            .filter(|&s| s != home)
+            .collect();
+        let Some(server) = first_fit(spare).or_else(|| first_fit(social)).or_else(|| {
+            if fits(&home) {
+                Some(home)
+            } else {
+                None
+            }
+        }) else {
             return; // No capacity anywhere: drop the scale-out.
         };
         let first_core = self.free_core[server];
         self.free_core[server] += cores;
-        self.instances[idx].slots.push(VmSlot { server, first_core, cores });
+        self.instances[idx].slots.push(VmSlot {
+            server,
+            first_core,
+            cores,
+        });
         self.instances[idx].grants.push(None);
         let n = self.instances[idx].slots.len();
         self.instances[idx].sim.set_active_vm_count(n);
@@ -1031,13 +1200,15 @@ impl ClusterSim {
         let mlt = if self.mltrain.is_empty() {
             1.0
         } else {
-            self.mltrain.iter().map(|j| j.relative_throughput()).sum::<f64>()
+            self.mltrain
+                .iter()
+                .map(|j| j.relative_throughput())
+                .sum::<f64>()
                 / self.mltrain.len() as f64
         };
-        let (granted, total) = self
-            .soas
-            .iter()
-            .fold((0, 0), |(g, t), s| (g + s.stats().granted, t + s.stats().requests));
+        let (granted, total) = self.soas.iter().fold((0, 0), |(g, t), s| {
+            (g + s.stats().granted, t + s.stats().requests)
+        });
         ClusterResult {
             system: self.config.system,
             instances,
@@ -1067,7 +1238,10 @@ mod tests {
             assert_eq!(r.system, system);
             assert_eq!(r.instances.len(), 3);
             assert!(r.total_energy_j > 0.0, "{system}: energy must accumulate");
-            assert!(r.avg_active_vms >= 3.0 - 1e-9, "{system}: at least one VM per instance");
+            assert!(
+                r.avg_active_vms >= 3.0 - 1e-9,
+                "{system}: at least one VM per instance"
+            );
             assert!(
                 r.instances.iter().all(|i| i.completed > 0),
                 "{system}: requests must complete"
@@ -1085,7 +1259,10 @@ mod tests {
     #[test]
     fn smartoclock_issues_overclock_requests() {
         let r = run_small(SystemKind::SmartOClock);
-        assert!(r.oc_requests.1 > 0, "high-load instances should trigger requests");
+        assert!(
+            r.oc_requests.1 > 0,
+            "high-load instances should trigger requests"
+        );
         assert!(r.oc_requests.0 <= r.oc_requests.1);
     }
 

@@ -23,6 +23,7 @@ use soc_power::model::PowerModel;
 use soc_power::rack::RackMonitor;
 use soc_power::units::Watts;
 use soc_predict::template::{PowerTemplate, TemplateKind};
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_traces::fleet::RackTrace;
 use soc_traces::gen::{FleetConfig, TraceGenerator};
 
@@ -120,7 +121,24 @@ struct ServerState {
 /// # Panics
 /// Panics if `config.weeks < 2` or `config.racks == 0`.
 pub fn simulate_policy(config: &LargeScaleConfig, policy: PolicyKind) -> Vec<RackOutcome> {
-    assert!(config.weeks >= 2, "need at least one training and one evaluation week");
+    simulate_policy_traced(config, policy, &Telemetry::disabled())
+}
+
+/// [`simulate_policy`] with telemetry: each rack emits `rack_sim_start` /
+/// `rack_sim_end` events plus per-step `rack_capping` warnings under
+/// [`Component::Sim`], and per-policy request/grant/capping counters.
+///
+/// # Panics
+/// Panics if `config.weeks < 2` or `config.racks == 0`.
+pub fn simulate_policy_traced(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    telemetry: &Telemetry,
+) -> Vec<RackOutcome> {
+    assert!(
+        config.weeks >= 2,
+        "need at least one training and one evaluation week"
+    );
     assert!(config.racks > 0, "need at least one rack");
     let generator = TraceGenerator::new(config.seed);
     let fleet_cfg = config.fleet_config();
@@ -128,7 +146,7 @@ pub fn simulate_policy(config: &LargeScaleConfig, policy: PolicyKind) -> Vec<Rac
         .map(|r| {
             let rack = generator.generate_rack(&fleet_cfg, r);
             let model = generator.model_for(rack.generation);
-            simulate_rack(config, policy, &rack, &model)
+            simulate_rack_traced(config, policy, &rack, &model, telemetry)
         })
         .collect()
 }
@@ -139,6 +157,17 @@ pub fn simulate_rack(
     policy: PolicyKind,
     rack: &RackTrace,
     model: &PowerModel,
+) -> RackOutcome {
+    simulate_rack_traced(config, policy, rack, model, &Telemetry::disabled())
+}
+
+/// [`simulate_rack`] with telemetry (see [`simulate_policy_traced`]).
+pub fn simulate_rack_traced(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    rack: &RackTrace,
+    model: &PowerModel,
+    telemetry: &Telemetry,
 ) -> RackOutcome {
     let plan = model.plan();
     let oc_freq = plan.max_overclock();
@@ -175,6 +204,11 @@ pub fn simulate_rack(
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
     let mut warned_last_step = false;
     let mut current_week = 0u64;
+    tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
+        "rack" => rack.index,
+        "policy" => policy.name(),
+        "servers" => rack.servers.len(),
+        "limit_w" => rack.limit.get());
 
     let mut t = train_end;
     while t < trace_end {
@@ -208,8 +242,11 @@ pub fn simulate_rack(
         let mut extras = vec![Watts::ZERO; n];
         let mut wanted = vec![false; n];
         let mut granted = vec![false; n];
-        let mut central_total: Watts =
-            rack.servers.iter().map(|s| Watts::new(s.power.value_at(t).unwrap_or(0.0))).sum();
+        let mut central_total: Watts = rack
+            .servers
+            .iter()
+            .map(|s| Watts::new(s.power.value_at(t).unwrap_or(0.0)))
+            .sum();
         for i in 0..n {
             let trace = &rack.servers[i];
             let base = Watts::new(trace.power.value_at(t).unwrap_or(0.0));
@@ -279,7 +316,11 @@ pub fn simulate_rack(
                 })
                 .sum();
             let over = draw - rack.limit;
-            let frac = if dynamic.get() > 0.0 { (over.get() / dynamic.get()).min(1.0) } else { 0.0 };
+            let frac = if dynamic.get() > 0.0 {
+                (over.get() / dynamic.get()).min(1.0)
+            } else {
+                0.0
+            };
             // Dynamic power ~ f·V² ⇒ frequency penalty is sublinear.
             let freq_penalty = (1.0 - (1.0 - frac).powf(0.55)).max(0.02);
             outcome.record_penalty(freq_penalty);
@@ -289,7 +330,10 @@ pub fn simulate_rack(
             // Enforcement then revokes overclock extras, largest first.
             let mut order: Vec<usize> = (0..n).filter(|&i| granted[i]).collect();
             order.sort_by(|&a, &b| {
-                extras[b].get().partial_cmp(&extras[a].get()).expect("finite watts")
+                extras[b]
+                    .get()
+                    .partial_cmp(&extras[a].get())
+                    .expect("finite watts")
             });
             for i in order {
                 if draw < rack.limit {
@@ -300,10 +344,22 @@ pub fn simulate_rack(
                 perf[i] = (1.0 - freq_penalty).min(perf[i]);
             }
             draw = draw.min(rack.limit * 0.98);
+            tm_event!(telemetry, t, Component::Sim, Severity::Warn, "rack_capping",
+                "rack" => rack.index,
+                "policy" => policy.name(),
+                "limit_w" => rack.limit.get(),
+                "penalty" => freq_penalty);
         }
         if capped {
             outcome.capping_steps += 1;
         }
+        telemetry.metrics(|m| {
+            m.observe(
+                "sim_rack_draw_w",
+                &[("rack", rack.index.into())],
+                draw.get(),
+            );
+        });
 
         // --- Exploration dynamics for the next step. ---
         let warning_now = signal == soc_power::rack::RackSignal::Warning;
@@ -319,8 +375,7 @@ pub fn simulate_rack(
                 continue;
             }
             if warned_last_step && policy.heeds_warnings() && s.explore_extra > Watts::ZERO {
-                s.explore_extra =
-                    (s.explore_extra - config.explore_step).clamp_non_negative();
+                s.explore_extra = (s.explore_extra - config.explore_step).clamp_non_negative();
                 s.backoff_steps = (s.backoff_steps + 1).min(8);
                 s.backoff_remaining = 1 << s.backoff_steps.min(6);
                 continue;
@@ -333,7 +388,7 @@ pub fn simulate_rack(
             // Exploration is staggered across servers (each sOA's 30-second
             // explore window starts at a different phase) so a rack's
             // explorers do not all raise their budgets in the same step.
-            let my_turn = (outcome.steps + i as u64) % 3 == 0;
+            let my_turn = (outcome.steps + i as u64).is_multiple_of(3);
             if wanted[i] && !granted[i] && my_turn && s.explore_extra < config.explore_cap {
                 s.explore_extra = (s.explore_extra + config.explore_step).min(config.explore_cap);
             } else if granted[i] {
@@ -353,9 +408,22 @@ pub fn simulate_rack(
         t += config.step;
     }
     outcome.capping_events = monitor.capping_events();
+    tm_event!(telemetry, trace_end, Component::Sim, Severity::Info, "rack_sim_end",
+        "rack" => rack.index,
+        "policy" => policy.name(),
+        "steps" => outcome.steps,
+        "requests" => outcome.requests,
+        "granted" => outcome.granted,
+        "capping_steps" => outcome.capping_steps,
+        "capping_events" => outcome.capping_events);
+    telemetry.metrics(|m| {
+        let policy_label = [("policy", policy.name().into())];
+        m.inc_counter_by("sim_requests", &policy_label, outcome.requests);
+        m.inc_counter_by("sim_grants", &policy_label, outcome.granted);
+        m.inc_counter_by("sim_capping_steps", &policy_label, outcome.capping_steps);
+    });
     outcome
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -387,8 +455,14 @@ mod tests {
 
     #[test]
     fn naive_caps_at_least_as_much_as_smart() {
-        let naive: u64 = run(PolicyKind::NaiveOClock).iter().map(|o| o.capping_events).sum();
-        let smart: u64 = run(PolicyKind::SmartOClock).iter().map(|o| o.capping_events).sum();
+        let naive: u64 = run(PolicyKind::NaiveOClock)
+            .iter()
+            .map(|o| o.capping_events)
+            .sum();
+        let smart: u64 = run(PolicyKind::SmartOClock)
+            .iter()
+            .map(|o| o.capping_events)
+            .sum();
         assert!(
             smart <= naive,
             "SmartOClock ({smart}) must not cap more than NaiveOClock ({naive})"

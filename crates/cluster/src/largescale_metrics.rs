@@ -108,7 +108,11 @@ impl PolicyMetrics {
             capping_steps,
             requests,
             granted,
-            success_rate: if requests == 0 { 1.0 } else { granted as f64 / requests as f64 },
+            success_rate: if requests == 0 {
+                1.0
+            } else {
+                granted as f64 / requests as f64
+            },
             capping_penalty: if penalty_samples == 0 {
                 0.0
             } else {
@@ -127,12 +131,19 @@ impl PolicyMetrics {
 /// terciles (Table I's cluster grouping). Returns `(high, medium, low)`
 /// rack-index sets based on the provided outcomes.
 pub fn power_groups(outcomes: &[RackOutcome]) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
-    let mut order: Vec<(usize, f64)> =
-        outcomes.iter().map(|o| (o.rack, o.mean_utilization)).collect();
+    let mut order: Vec<(usize, f64)> = outcomes
+        .iter()
+        .map(|o| (o.rack, o.mean_utilization))
+        .collect();
     order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite utilization"));
     let n = order.len();
     let high: Vec<usize> = order.iter().take(n / 3).map(|&(r, _)| r).collect();
-    let medium: Vec<usize> = order.iter().skip(n / 3).take(n - 2 * (n / 3)).map(|&(r, _)| r).collect();
+    let medium: Vec<usize> = order
+        .iter()
+        .skip(n / 3)
+        .take(n - 2 * (n / 3))
+        .map(|&(r, _)| r)
+        .collect();
     let low: Vec<usize> = order.iter().skip(n - n / 3).map(|&(r, _)| r).collect();
     (high, medium, low)
 }
@@ -159,14 +170,46 @@ mod tests {
 
     #[test]
     fn aggregate_pools_counters() {
-        let outcomes =
-            vec![outcome(0, 0.7, 100, 90, 2), outcome(1, 0.5, 50, 25, 1)];
+        let outcomes = vec![outcome(0, 0.7, 100, 90, 2), outcome(1, 0.5, 50, 25, 1)];
         let m = PolicyMetrics::aggregate(PolicyKind::SmartOClock, &outcomes);
         assert_eq!(m.capping_events, 3);
         assert_eq!(m.requests, 150);
         assert_eq!(m.granted, 115);
         assert!((m.success_rate - 115.0 / 150.0).abs() < 1e-12);
         assert!(m.normalized_performance > 1.0 && m.normalized_performance < 1.21);
+    }
+
+    #[test]
+    fn aggregate_of_no_outcomes_is_neutral() {
+        let m = PolicyMetrics::aggregate(PolicyKind::Central, &[]);
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.granted, 0);
+        assert_eq!(m.capping_events, 0);
+        assert_eq!(m.capping_steps, 0);
+        assert_eq!(m.success_rate, 1.0);
+        assert_eq!(m.capping_penalty, 0.0);
+        assert_eq!(m.normalized_performance, 1.0);
+    }
+
+    #[test]
+    fn aggregate_sums_capping_steps_separately_from_events() {
+        let mut a = RackOutcome::new(0, 0.8);
+        a.capping_steps = 7;
+        a.capping_events = 2; // one long + one short excursion
+        let mut b = RackOutcome::new(1, 0.6);
+        b.capping_steps = 3;
+        b.capping_events = 3;
+        let m = PolicyMetrics::aggregate(PolicyKind::NoFeedback, &[a, b]);
+        assert_eq!(m.capping_steps, 10);
+        assert_eq!(m.capping_events, 5);
+    }
+
+    #[test]
+    fn success_rate_pools_requests_not_rates() {
+        // 90/100 and 0/50 pooled is 60%, not the 45% a mean-of-rates gives.
+        let outcomes = vec![outcome(0, 0.7, 100, 90, 0), outcome(1, 0.5, 50, 0, 0)];
+        let m = PolicyMetrics::aggregate(PolicyKind::SmartOClock, &outcomes);
+        assert!((m.success_rate - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -180,8 +223,9 @@ mod tests {
 
     #[test]
     fn groups_are_disjoint_and_cover() {
-        let outcomes: Vec<RackOutcome> =
-            (0..9).map(|i| RackOutcome::new(i, i as f64 / 10.0)).collect();
+        let outcomes: Vec<RackOutcome> = (0..9)
+            .map(|i| RackOutcome::new(i, i as f64 / 10.0))
+            .collect();
         let (high, medium, low) = power_groups(&outcomes);
         assert_eq!(high.len(), 3);
         assert_eq!(medium.len(), 3);

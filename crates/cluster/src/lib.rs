@@ -33,4 +33,4 @@ pub mod largescale_metrics;
 
 pub use envs::{run_environment, Environment, ServiceRunResult};
 pub use harness::{ClusterConfig, ClusterResult, ClusterSim, SystemKind};
-pub use largescale::{LargeScaleConfig, PolicyMetrics, simulate_policy};
+pub use largescale::{simulate_policy, LargeScaleConfig, PolicyMetrics};

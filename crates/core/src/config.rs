@@ -70,15 +70,36 @@ impl SoaConfig {
             "overclock fraction must be in [0, 1]"
         );
         assert!(!self.epoch.is_zero(), "epoch must be non-zero");
-        assert!(self.explore_step.get() > 0.0, "explore step must be positive");
-        assert!(!self.explore_wait.is_zero(), "explore wait must be non-zero");
-        assert!(!self.exploit_time.is_zero(), "exploit time must be non-zero");
+        assert!(
+            self.explore_step.get() > 0.0,
+            "explore step must be positive"
+        );
+        assert!(
+            !self.explore_wait.is_zero(),
+            "explore wait must be non-zero"
+        );
+        assert!(
+            !self.exploit_time.is_zero(),
+            "exploit time must be non-zero"
+        );
         assert!(!self.backoff_initial.is_zero(), "backoff must be non-zero");
-        assert!(self.backoff_max >= self.backoff_initial, "backoff max below initial");
+        assert!(
+            self.backoff_max >= self.backoff_initial,
+            "backoff max below initial"
+        );
         assert!(self.freq_step.get() > 0, "frequency step must be positive");
-        assert!(self.power_buffer.get() >= 0.0, "power buffer must be non-negative");
-        assert!(!self.exhaustion_window.is_zero(), "exhaustion window must be non-zero");
-        assert!(self.explore_cap.get() >= 0.0, "explore cap must be non-negative");
+        assert!(
+            self.power_buffer.get() >= 0.0,
+            "power buffer must be non-negative"
+        );
+        assert!(
+            !self.exhaustion_window.is_zero(),
+            "exhaustion window must be non-zero"
+        );
+        assert!(
+            self.explore_cap.get() >= 0.0,
+            "explore cap must be non-negative"
+        );
     }
 }
 

@@ -17,6 +17,7 @@ use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
 use soc_power::model::PowerModel;
 use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::{PowerTemplate, TemplateKind};
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 
 /// One server's weekly profile as exchanged with the gOA.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,8 +43,9 @@ impl ServerProfile {
         oc_frequency: MegaHertz,
         expected_utilization: f64,
     ) -> ServerProfile {
-        let per_core =
-            model.overclock_delta(expected_utilization, 1, oc_frequency).get();
+        let per_core = model
+            .overclock_delta(expected_utilization, 1, oc_frequency)
+            .get();
         let demand_watts = oc_cores_history.map(|cores| cores * per_core);
         ServerProfile {
             regular_power: PowerTemplate::build(power_history, TemplateKind::DailyMed),
@@ -131,6 +133,66 @@ impl GlobalOverclockAgent {
         let demands: Vec<DemandProfile> = profiles.iter().map(|p| p.demand_at(t)).collect();
         self.budgets_for(&demands)
     }
+
+    /// [`budgets_for`](Self::budgets_for) plus a `budget_split` telemetry
+    /// record and per-server budget gauges, labelled with the rack index.
+    ///
+    /// # Panics
+    /// Panics if `demands` is empty.
+    pub fn budgets_for_traced(
+        &self,
+        now: SimTime,
+        demands: &[DemandProfile],
+        telemetry: &Telemetry,
+        rack: usize,
+    ) -> Vec<Watts> {
+        let budgets = self.budgets_for(demands);
+        if telemetry.is_enabled() {
+            let allocated: f64 = budgets.iter().map(|b| b.get()).sum();
+            let min = budgets
+                .iter()
+                .map(|b| b.get())
+                .fold(f64::INFINITY, f64::min);
+            let max = budgets
+                .iter()
+                .map(|b| b.get())
+                .fold(f64::NEG_INFINITY, f64::max);
+            tm_event!(telemetry, now, Component::Goa, Severity::Info, "budget_split",
+                "rack" => rack,
+                "servers" => budgets.len(),
+                "rack_limit_w" => self.rack_limit.get(),
+                "allocated_w" => allocated,
+                "min_w" => min,
+                "max_w" => max);
+            telemetry.metrics(|m| {
+                m.inc_counter("goa_budget_splits", &[("rack", rack.into())]);
+                for (server, budget) in budgets.iter().enumerate() {
+                    m.set_gauge(
+                        "soa_budget_w",
+                        &[("rack", rack.into()), ("server", server.into())],
+                        budget.get(),
+                    );
+                }
+            });
+        }
+        budgets
+    }
+
+    /// [`budgets_at`](Self::budgets_at) plus the `budget_split` telemetry of
+    /// [`budgets_for_traced`](Self::budgets_for_traced).
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty.
+    pub fn budgets_at_traced(
+        &self,
+        t: SimTime,
+        profiles: &[ServerProfile],
+        telemetry: &Telemetry,
+        rack: usize,
+    ) -> Vec<Watts> {
+        let demands: Vec<DemandProfile> = profiles.iter().map(|p| p.demand_at(t)).collect();
+        self.budgets_for_traced(t, &demands, telemetry, rack)
+    }
 }
 
 #[cfg(test)]
@@ -151,8 +213,14 @@ mod tests {
     fn paper_worked_example() {
         let goa = GlobalOverclockAgent::new(Watts::new(1300.0), PolicyKind::SmartOClock);
         let budgets = goa.budgets_for(&[
-            DemandProfile { regular: Watts::new(400.0), overclock_demand: Watts::new(50.0) },
-            DemandProfile { regular: Watts::new(300.0), overclock_demand: Watts::new(100.0) },
+            DemandProfile {
+                regular: Watts::new(400.0),
+                overclock_demand: Watts::new(50.0),
+            },
+            DemandProfile {
+                regular: Watts::new(300.0),
+                overclock_demand: Watts::new(100.0),
+            },
         ]);
         assert_eq!(budgets, vec![Watts::new(600.0), Watts::new(700.0)]);
     }
@@ -161,8 +229,14 @@ mod tests {
     fn naive_policy_splits_evenly() {
         let goa = GlobalOverclockAgent::new(Watts::new(1300.0), PolicyKind::NaiveOClock);
         let budgets = goa.budgets_for(&[
-            DemandProfile { regular: Watts::new(400.0), overclock_demand: Watts::new(50.0) },
-            DemandProfile { regular: Watts::new(300.0), overclock_demand: Watts::new(100.0) },
+            DemandProfile {
+                regular: Watts::new(400.0),
+                overclock_demand: Watts::new(50.0),
+            },
+            DemandProfile {
+                regular: Watts::new(300.0),
+                overclock_demand: Watts::new(100.0),
+            },
         ]);
         assert_eq!(budgets, vec![Watts::new(650.0), Watts::new(650.0)]);
     }
@@ -188,8 +262,20 @@ mod tests {
     fn budgets_at_consumes_profiles() {
         let model = PowerModel::reference_server();
         let oc_freq = model.plan().max_overclock();
-        let p1 = ServerProfile::from_history(&flat_series(400.0), &flat_series(5.0), &model, oc_freq, 0.9);
-        let p2 = ServerProfile::from_history(&flat_series(300.0), &flat_series(10.0), &model, oc_freq, 0.9);
+        let p1 = ServerProfile::from_history(
+            &flat_series(400.0),
+            &flat_series(5.0),
+            &model,
+            oc_freq,
+            0.9,
+        );
+        let p2 = ServerProfile::from_history(
+            &flat_series(300.0),
+            &flat_series(10.0),
+            &model,
+            oc_freq,
+            0.9,
+        );
         let goa = GlobalOverclockAgent::new(Watts::new(1300.0), PolicyKind::SmartOClock);
         let budgets = goa.budgets_at(SimTime::ZERO + SimDuration::from_days(9), &[p1, p2]);
         assert_eq!(budgets.len(), 2);

@@ -82,13 +82,12 @@ impl Default for InferenceConfig {
 /// assert!(trigger.scale_up > 60.0 && trigger.scale_up <= 120.0);
 /// assert!(trigger.scale_down < trigger.scale_up);
 /// ```
-pub fn infer_trigger(
-    kind: MetricKind,
-    history: &[f64],
-    config: InferenceConfig,
-) -> MetricTrigger {
+pub fn infer_trigger(kind: MetricKind, history: &[f64], config: InferenceConfig) -> MetricTrigger {
     config.validate();
-    assert!(!history.is_empty(), "cannot infer thresholds from an empty history");
+    assert!(
+        !history.is_empty(),
+        "cannot infer thresholds from an empty history"
+    );
     let clean: Vec<f64> = history.iter().copied().filter(|v| v.is_finite()).collect();
     assert!(!clean.is_empty(), "history contains no finite samples");
     let q = (1.0 - config.overclock_time_fraction) * 100.0;
@@ -150,8 +149,11 @@ mod tests {
     #[test]
     fn scale_down_leaves_hysteresis() {
         let history = diurnal_history();
-        let trigger =
-            infer_trigger(MetricKind::TailLatencyMs, &history, InferenceConfig::reference());
+        let trigger = infer_trigger(
+            MetricKind::TailLatencyMs,
+            &history,
+            InferenceConfig::reference(),
+        );
         // Post-overclock estimate of the peak: peak/1.21 ≈ 91; scale-down
         // must be at or below that minus the margin.
         assert!(trigger.scale_down < trigger.scale_up / 1.2);
@@ -162,8 +164,11 @@ mod tests {
         let history = diurnal_history();
         let mut tight = InferenceConfig::reference();
         tight.overclock_time_fraction = 0.05;
-        let loose_trigger =
-            infer_trigger(MetricKind::TailLatencyMs, &history, InferenceConfig::reference());
+        let loose_trigger = infer_trigger(
+            MetricKind::TailLatencyMs,
+            &history,
+            InferenceConfig::reference(),
+        );
         let tight_trigger = infer_trigger(MetricKind::TailLatencyMs, &history, tight);
         assert!(tight_trigger.scale_up >= loose_trigger.scale_up);
     }
@@ -172,8 +177,11 @@ mod tests {
     fn nan_samples_are_ignored() {
         let mut history = diurnal_history();
         history.push(f64::NAN);
-        let trigger =
-            infer_trigger(MetricKind::TailLatencyMs, &history, InferenceConfig::reference());
+        let trigger = infer_trigger(
+            MetricKind::TailLatencyMs,
+            &history,
+            InferenceConfig::reference(),
+        );
         assert!(trigger.scale_up.is_finite());
     }
 

@@ -41,7 +41,11 @@ pub struct OverclockRequest {
 
 impl OverclockRequest {
     /// A metrics-based request with defaults suitable for tests/examples.
-    pub fn metrics_based(vm: impl Into<String>, cores: usize, target: MegaHertz) -> OverclockRequest {
+    pub fn metrics_based(
+        vm: impl Into<String>,
+        cores: usize,
+        target: MegaHertz,
+    ) -> OverclockRequest {
         OverclockRequest {
             vm: vm.into(),
             cores,
@@ -162,7 +166,10 @@ mod tests {
 
     #[test]
     fn reject_reason_displays() {
-        assert_eq!(RejectReason::PowerBudget.to_string(), "insufficient power budget");
+        assert_eq!(
+            RejectReason::PowerBudget.to_string(),
+            "insufficient power budget"
+        );
         assert_eq!(GrantId(3).to_string(), "grant3");
     }
 }

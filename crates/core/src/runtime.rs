@@ -25,6 +25,7 @@ use soc_power::model::PowerModel;
 use soc_power::rack::RackSignal;
 use soc_power::units::Watts;
 use soc_predict::template::PowerTemplate;
+use soc_telemetry::{tm_event, Component, Event, LocalSpool, Severity, Telemetry};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -46,6 +47,8 @@ enum AgentMsg {
     },
     SetBudget(Watts),
     SetTemplate(Box<PowerTemplate>),
+    /// Barrier: the thread replies once every earlier message is processed.
+    Sync(Sender<()>),
     Shutdown,
 }
 
@@ -75,12 +78,13 @@ enum AgentMsg {
 pub struct RackRuntime {
     senders: Vec<Sender<AgentMsg>>,
     handles: Vec<JoinHandle<()>>,
-    events_rx: Receiver<(usize, SoaEvent)>,
+    events_rx: Receiver<(SimTime, usize, SoaEvent)>,
     stats: Arc<Mutex<Vec<SoaStats>>>,
+    telemetry: Telemetry,
 }
 
 impl RackRuntime {
-    /// Spawn `servers` agent threads.
+    /// Spawn `servers` agent threads with telemetry disabled.
     ///
     /// # Panics
     /// Panics if `servers == 0` or the configuration is invalid.
@@ -89,6 +93,24 @@ impl RackRuntime {
         model: PowerModel,
         config: SoaConfig,
         policy: PolicyKind,
+    ) -> RackRuntime {
+        RackRuntime::start_with_telemetry(servers, model, config, policy, Telemetry::disabled())
+    }
+
+    /// Spawn `servers` agent threads sharing `telemetry`.
+    ///
+    /// Each thread buffers its own lifecycle records in a
+    /// [`LocalSpool`] (flushed at barriers and shutdown); the agents
+    /// themselves emit decision events through the shared handle.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0` or the configuration is invalid.
+    pub fn start_with_telemetry(
+        servers: usize,
+        model: PowerModel,
+        config: SoaConfig,
+        policy: PolicyKind,
+        telemetry: Telemetry,
     ) -> RackRuntime {
         assert!(servers > 0, "need at least one server");
         let (events_tx, events_rx) = unbounded();
@@ -99,35 +121,66 @@ impl RackRuntime {
             let (tx, rx) = unbounded::<AgentMsg>();
             let events_tx = events_tx.clone();
             let stats = Arc::clone(&stats);
+            let thread_telemetry = telemetry.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("soa-{index}"))
                 .spawn(move || {
                     let mut agent = ServerOverclockAgent::new(model, config, policy);
+                    agent.set_telemetry(thread_telemetry.clone(), index);
+                    let mut spool = LocalSpool::new(thread_telemetry);
+                    let mut last_tick = SimTime::ZERO;
+                    spool.push(
+                        Event::new(last_tick, Component::Rack, Severity::Debug, "agent_start")
+                            .field("server", index),
+                    );
                     while let Ok(msg) = rx.recv() {
                         match msg {
-                            AgentMsg::Request { now, request, reply } => {
+                            AgentMsg::Request {
+                                now,
+                                request,
+                                reply,
+                            } => {
                                 let _ = reply.send(agent.request_overclock(now, request));
                             }
                             AgentMsg::End { now, grant } => {
                                 let _ = agent.end_overclock(now, grant);
                             }
-                            AgentMsg::Tick { now, measured, signal } => {
+                            AgentMsg::Tick {
+                                now,
+                                measured,
+                                signal,
+                            } => {
+                                last_tick = now;
                                 for event in agent.control_tick(now, measured, signal) {
-                                    let _ = events_tx.send((index, event));
+                                    let _ = events_tx.send((now, index, event));
                                 }
                                 stats.lock()[index] = agent.stats();
                             }
                             AgentMsg::SetBudget(b) => agent.set_power_budget(b),
                             AgentMsg::SetTemplate(t) => agent.set_power_template(*t),
+                            AgentMsg::Sync(reply) => {
+                                spool.flush();
+                                let _ = reply.send(());
+                            }
                             AgentMsg::Shutdown => break,
                         }
                     }
+                    spool.push(
+                        Event::new(last_tick, Component::Rack, Severity::Debug, "agent_stop")
+                            .field("server", index),
+                    );
                 })
                 .expect("spawn agent thread");
             senders.push(tx);
             handles.push(handle);
         }
-        RackRuntime { senders, handles, events_rx, stats }
+        RackRuntime {
+            senders,
+            handles,
+            events_rx,
+            stats,
+            telemetry,
+        }
     }
 
     /// Number of agent threads.
@@ -151,7 +204,11 @@ impl RackRuntime {
     ) -> Result<GrantId, RejectReason> {
         let (reply_tx, reply_rx) = bounded(1);
         self.senders[index]
-            .send(AgentMsg::Request { now, request, reply: reply_tx })
+            .send(AgentMsg::Request {
+                now,
+                request,
+                reply: reply_tx,
+            })
             .expect("agent thread is alive");
         reply_rx.recv().expect("agent replies to requests")
     }
@@ -192,15 +249,54 @@ impl RackRuntime {
     /// Panics if `measured.len()` differs from the server count.
     pub fn tick_all(&self, now: SimTime, measured: &[Watts], signal: Option<RackSignal>) {
         assert_eq!(measured.len(), self.servers(), "one measurement per server");
+        tm_event!(self.telemetry, now, Component::Rack, Severity::Debug, "tick_all",
+            "servers" => self.servers(),
+            "signal" => signal.is_some());
         for (tx, &m) in self.senders.iter().zip(measured) {
-            tx.send(AgentMsg::Tick { now, measured: m, signal })
-                .expect("agent thread is alive");
+            tx.send(AgentMsg::Tick {
+                now,
+                measured: m,
+                signal,
+            })
+            .expect("agent thread is alive");
         }
     }
 
-    /// Drain all events emitted since the last drain. Does not block.
+    /// Wait until every agent thread has processed all messages sent so far
+    /// (and flushed its telemetry spool). After `sync`, `drain_events`
+    /// returns the complete, deterministic event set of earlier ticks.
+    ///
+    /// # Panics
+    /// Panics if an agent thread is gone.
+    pub fn sync(&self) {
+        let replies: Vec<Receiver<()>> = self
+            .senders
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = bounded(1);
+                tx.send(AgentMsg::Sync(reply_tx))
+                    .expect("agent thread is alive");
+                reply_rx
+            })
+            .collect();
+        for rx in replies {
+            rx.recv().expect("agent answers sync barrier");
+        }
+    }
+
+    /// Drain all events emitted since the last drain, in deterministic
+    /// `(SimTime, server index)` order. Does not block; call
+    /// [`sync`](Self::sync) first to guarantee all in-flight ticks are
+    /// included.
+    ///
+    /// Events from the same server at the same instant keep their emission
+    /// order (stable sort), so per-grant sequences stay intact.
     pub fn drain_events(&self) -> Vec<(usize, SoaEvent)> {
-        self.events_rx.try_iter().collect()
+        let mut raw: Vec<(SimTime, usize, SoaEvent)> = self.events_rx.try_iter().collect();
+        raw.sort_by_key(|(time, server, _)| (*time, *server));
+        raw.into_iter()
+            .map(|(_, server, event)| (server, event))
+            .collect()
     }
 
     /// Snapshot of per-agent statistics (updated at each tick).
@@ -255,7 +351,9 @@ mod tests {
     #[test]
     fn request_roundtrip_through_thread() {
         let rt = runtime(2);
-        let grant = rt.request(0, SimTime::ZERO, oc_request()).expect("headroom");
+        let grant = rt
+            .request(0, SimTime::ZERO, oc_request())
+            .expect("headroom");
         rt.end(0, SimTime::from_secs(10), grant);
         rt.shutdown();
     }
@@ -267,11 +365,12 @@ mod tests {
         for s in 1..=5u64 {
             rt.tick_all(SimTime::from_secs(s), &[Watts::new(300.0)], None);
         }
-        // Give the thread a moment to process, then drain.
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        rt.sync();
         let events = rt.drain_events();
         assert!(
-            events.iter().any(|(_, e)| matches!(e, SoaEvent::SetFrequency { .. })),
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, SoaEvent::SetFrequency { .. })),
             "feedback loop should ramp the grant: {events:?}"
         );
         rt.shutdown();
@@ -282,7 +381,7 @@ mod tests {
         let rt = runtime(3);
         let _ = rt.request(1, SimTime::ZERO, oc_request()).unwrap();
         rt.tick_all(SimTime::from_secs(1), &[Watts::new(200.0); 3], None);
-        std::thread::sleep(std::time::Duration::from_millis(50));
+        rt.sync();
         let stats = rt.stats();
         assert_eq!(stats.len(), 3);
         assert_eq!(stats[1].requests, 1);
@@ -298,7 +397,9 @@ mod tests {
         let rt = runtime(1);
         for k in 0..5 {
             let t = SimTime::ZERO + SimDuration::from_minutes(k);
-            let grant = rt.request(0, t, oc_request()).expect("local decisions keep working");
+            let grant = rt
+                .request(0, t, oc_request())
+                .expect("local decisions keep working");
             rt.end(0, t + SimDuration::from_secs(30), grant);
         }
         rt.shutdown();
@@ -321,6 +422,64 @@ mod tests {
         rt.set_budget(0, Watts::new(10.0)); // far below any regular draw
         let err = rt.request(0, SimTime::ZERO, oc_request()).unwrap_err();
         assert_eq!(err, RejectReason::PowerBudget);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn drained_events_are_ordered_by_time_then_server() {
+        let rt = runtime(4);
+        for i in 0..4 {
+            let _ = rt.request(i, SimTime::ZERO, oc_request()).unwrap();
+        }
+        // Several ticks: every server emits SetFrequency events each tick.
+        for s in 1..=3u64 {
+            rt.tick_all(SimTime::from_secs(s), &[Watts::new(300.0); 4], None);
+        }
+        rt.sync();
+        let events = rt.drain_events();
+        assert!(!events.is_empty());
+        // Reconstruct the (time, server) keys: each tick's batch must come
+        // out grouped by tick and, within a tick, by ascending server index.
+        let servers: Vec<usize> = events.iter().map(|(s, _)| *s).collect();
+        let mut per_tick = servers.chunks(4);
+        for chunk in &mut per_tick {
+            let mut sorted = chunk.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(
+                chunk,
+                &sorted[..],
+                "within one tick, servers ascend: {servers:?}"
+            );
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn runtime_threads_emit_telemetry() {
+        let (tm, sink) = Telemetry::memory();
+        let rt = RackRuntime::start_with_telemetry(
+            2,
+            PowerModel::reference_server(),
+            SoaConfig::reference(),
+            PolicyKind::SmartOClock,
+            tm,
+        );
+        rt.set_budget(0, Watts::new(450.0));
+        rt.set_budget(1, Watts::new(450.0));
+        let _ = rt.request(0, SimTime::ZERO, oc_request()).unwrap();
+        rt.tick_all(SimTime::from_secs(1), &[Watts::new(300.0); 2], None);
+        rt.sync();
+        assert_eq!(
+            sink.named("oc_grant").len(),
+            1,
+            "sOA emits through the shared handle"
+        );
+        assert_eq!(sink.named("tick_all").len(), 1);
+        assert_eq!(
+            sink.named("agent_start").len(),
+            2,
+            "spools flush at the sync barrier"
+        );
         rt.shutdown();
     }
 }

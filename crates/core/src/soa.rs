@@ -33,7 +33,27 @@ use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::PowerTemplate;
 use soc_reliability::budget::OverclockBudget;
 use soc_reliability::tracker::TimeInState;
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use std::collections::BTreeMap;
+
+/// Stable label for a [`RejectReason`] in telemetry output.
+fn reject_label(reason: RejectReason) -> &'static str {
+    match reason {
+        RejectReason::PowerBudget => "power_budget",
+        RejectReason::LifetimeBudget => "lifetime_budget",
+        RejectReason::CoreBudget => "core_budget",
+        RejectReason::Invalid => "invalid",
+    }
+}
+
+/// Stable label for a [`GrantEndReason`] in telemetry output.
+fn end_label(reason: GrantEndReason) -> &'static str {
+    match reason {
+        GrantEndReason::Released => "released",
+        GrantEndReason::LifetimeBudgetExhausted => "lifetime_exhausted",
+        GrantEndReason::ScheduleComplete => "schedule_complete",
+    }
+}
 
 /// An active overclocking grant.
 #[derive(Debug, Clone)]
@@ -115,6 +135,8 @@ pub struct ServerOverclockAgent {
     last_power_warning_eta: Option<SimTime>,
     last_lifetime_warning_eta: Option<SimTime>,
     stats: SoaStats,
+    telemetry: Telemetry,
+    server_id: usize,
 }
 
 impl ServerOverclockAgent {
@@ -148,7 +170,16 @@ impl ServerOverclockAgent {
             last_power_warning_eta: None,
             last_lifetime_warning_eta: None,
             stats: SoaStats::default(),
+            telemetry: Telemetry::disabled(),
+            server_id: 0,
         }
+    }
+
+    /// Attach a telemetry handle, labelling this agent's events and metrics
+    /// with `server_id`. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, server_id: usize) {
+        self.telemetry = telemetry;
+        self.server_id = server_id;
     }
 
     /// The policy this agent runs.
@@ -246,6 +277,38 @@ impl ServerOverclockAgent {
         now: SimTime,
         request: OverclockRequest,
     ) -> Result<GrantId, RejectReason> {
+        let result = self.admit(now, request);
+        self.telemetry.metrics(|m| {
+            m.inc_counter("soa_requests", &[("server", self.server_id.into())]);
+        });
+        match result {
+            Ok(id) => {
+                let grant = &self.grants[&id];
+                tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "oc_grant",
+                    "server" => self.server_id,
+                    "grant" => id.0,
+                    "vm" => grant.request.vm.as_str(),
+                    "cores" => grant.cores.len(),
+                    "target_mhz" => grant.request.target.get(),
+                    "priority" => grant.request.priority,
+                    "scheduled" => grant.ends_at.is_some());
+                self.telemetry.metrics(|m| {
+                    m.inc_counter("soa_grants", &[("server", self.server_id.into())]);
+                });
+            }
+            Err(reason) => {
+                tm_event!(self.telemetry, now, Component::Soa, Severity::Warn, "oc_deny",
+                    "server" => self.server_id,
+                    "reason" => reject_label(reason));
+                self.telemetry.metrics(|m| {
+                    m.inc_counter("soa_denials", &[("reason", reject_label(reason).into())]);
+                });
+            }
+        }
+        result
+    }
+
+    fn admit(&mut self, now: SimTime, request: OverclockRequest) -> Result<GrantId, RejectReason> {
         self.stats.requests += 1;
         self.roll_epoch(now);
         // Structural validation applies to every policy.
@@ -321,11 +384,9 @@ impl ServerOverclockAgent {
     fn power_fits(&self, now: SimTime, request: &OverclockRequest) -> bool {
         let regular = self.predict_regular(now);
         let active = self.overclock_demand();
-        let extra = self.model.overclock_delta(
-            request.expected_utilization,
-            request.cores,
-            request.target,
-        );
+        let extra =
+            self.model
+                .overclock_delta(request.expected_utilization, request.cores, request.target);
         regular + active + extra <= self.effective_budget()
     }
 
@@ -337,7 +398,9 @@ impl ServerOverclockAgent {
             // conservative mid-load guess before any measurement.
             None => match self.last_measured {
                 Some(measured) => (measured - self.overclock_demand()).clamp_non_negative(),
-                None => self.model.server_power_uniform(0.5, self.model.plan().turbo()),
+                None => self
+                    .model
+                    .server_power_uniform(0.5, self.model.plan().turbo()),
             },
         }
     }
@@ -356,6 +419,11 @@ impl ServerOverclockAgent {
                     let _ = self.lifetime.release(ends_at.since(now));
                 }
             }
+            tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "oc_release",
+                "server" => self.server_id,
+                "grant" => id.0,
+                "vm" => grant.request.vm.as_str(),
+                "held_us" => now.saturating_since(grant.started));
             true
         } else {
             false
@@ -387,7 +455,49 @@ impl ServerOverclockAgent {
         self.explore_step(now, measured_power);
         self.power_rejected = false;
         self.predict_exhaustion(now, &mut events);
+        self.trace_tick(now, measured_power, &events);
         events
+    }
+
+    /// Mirror the outgoing control-loop events into telemetry.
+    fn trace_tick(&self, now: SimTime, measured_power: Watts, events: &[SoaEvent]) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.metrics(|m| {
+            m.observe(
+                "soa_measured_w",
+                &[("server", self.server_id.into())],
+                measured_power.get(),
+            );
+        });
+        for event in events {
+            match event {
+                SoaEvent::SetFrequency { grant, frequency } => {
+                    tm_event!(self.telemetry, now, Component::Soa, Severity::Debug, "freq_set",
+                        "server" => self.server_id,
+                        "grant" => grant.0,
+                        "mhz" => frequency.get());
+                }
+                SoaEvent::GrantEnded { grant, reason } => {
+                    tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "grant_end",
+                        "server" => self.server_id,
+                        "grant" => grant.0,
+                        "reason" => end_label(*reason));
+                }
+                SoaEvent::ExhaustionWarning { resource, eta } => {
+                    let label = match resource {
+                        ExhaustedResource::Power => "power",
+                        ExhaustedResource::Lifetime => "lifetime",
+                    };
+                    tm_event!(self.telemetry, now, Component::Soa, Severity::Warn,
+                        "exhaustion_warning",
+                        "server" => self.server_id,
+                        "resource" => label,
+                        "eta_us" => *eta);
+                }
+            }
+        }
     }
 
     /// Charge elapsed overclocked time to the lifetime budget and per-core
@@ -414,8 +524,7 @@ impl ServerOverclockAgent {
             }
         }
         // Server-level budget: the wall-clock interval counts once.
-        let scheduled_active =
-            active.iter().any(|id| self.grants[id].ends_at.is_some());
+        let scheduled_active = active.iter().any(|id| self.grants[id].ends_at.is_some());
         let consumed = if scheduled_active {
             self.lifetime
                 .consume_reserved(now, dt)
@@ -427,7 +536,10 @@ impl ServerOverclockAgent {
             // Budget ran dry mid-grant: stop all overclocking.
             for id in active {
                 if self.grants.remove(&id).is_some() {
-                    events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+                    events.push(SoaEvent::SetFrequency {
+                        grant: id,
+                        frequency: turbo,
+                    });
                     events.push(SoaEvent::GrantEnded {
                         grant: id,
                         reason: GrantEndReason::LifetimeBudgetExhausted,
@@ -455,7 +567,10 @@ impl ServerOverclockAgent {
             if fresh.len() == n {
                 self.grants.get_mut(&id).expect("grant exists").cores = fresh;
             } else if self.grants.remove(&id).is_some() {
-                events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+                events.push(SoaEvent::SetFrequency {
+                    grant: id,
+                    frequency: turbo,
+                });
                 events.push(SoaEvent::GrantEnded {
                     grant: id,
                     reason: GrantEndReason::LifetimeBudgetExhausted,
@@ -474,7 +589,10 @@ impl ServerOverclockAgent {
         let turbo = self.model.plan().turbo();
         for id in done {
             self.grants.remove(&id);
-            events.push(SoaEvent::SetFrequency { grant: id, frequency: turbo });
+            events.push(SoaEvent::SetFrequency {
+                grant: id,
+                frequency: turbo,
+            });
             events.push(SoaEvent::GrantEnded {
                 grant: id,
                 reason: GrantEndReason::ScheduleComplete,
@@ -493,17 +611,31 @@ impl ServerOverclockAgent {
                 let until = now + self.explorer.backoff;
                 self.explorer.backoff = (self.explorer.backoff * 2).min(self.config.backoff_max);
                 self.explorer.phase = Phase::BackedOff { until };
+                tm_event!(self.telemetry, now, Component::Soa, Severity::Error, "capping_reset",
+                    "server" => self.server_id,
+                    "backoff_until_us" => until);
+                self.telemetry.metrics(|m| {
+                    m.inc_counter("soa_capping_resets", &[("server", self.server_id.into())]);
+                });
             }
             Some(RackSignal::Warning) => {
                 let exploring = matches!(self.explorer.phase, Phase::Exploring { .. });
                 if exploring && self.policy.heeds_warnings() {
                     self.stats.warning_retreats += 1;
-                    self.explorer.extra = (self.explorer.extra - self.config.explore_step)
-                        .clamp_non_negative();
+                    self.explorer.extra =
+                        (self.explorer.extra - self.config.explore_step).clamp_non_negative();
                     let until = now + self.explorer.backoff;
                     self.explorer.backoff =
                         (self.explorer.backoff * 2).min(self.config.backoff_max);
                     self.explorer.phase = Phase::BackedOff { until };
+                    tm_event!(self.telemetry, now, Component::Soa, Severity::Warn,
+                        "warning_retreat",
+                        "server" => self.server_id,
+                        "extra_w" => self.explorer.extra.get(),
+                        "backoff_until_us" => until);
+                    self.telemetry.metrics(|m| {
+                        m.inc_counter("soa_warning_retreats", &[("server", self.server_id.into())]);
+                    });
                 }
                 // "An sOA ignores the message if it is not exploring."
             }
@@ -530,7 +662,10 @@ impl ServerOverclockAgent {
             {
                 let g = self.grants.get_mut(&id).expect("grant exists");
                 g.current = plan.step_down(g.current).max(turbo);
-                events.push(SoaEvent::SetFrequency { grant: id, frequency: g.current });
+                events.push(SoaEvent::SetFrequency {
+                    grant: id,
+                    frequency: g.current,
+                });
             }
         } else if measured < threshold {
             // Boost the highest-priority grant still below target.
@@ -542,7 +677,10 @@ impl ServerOverclockAgent {
             {
                 let g = self.grants.get_mut(&id).expect("grant exists");
                 g.current = plan.step_up(g.current).min(g.request.target);
-                events.push(SoaEvent::SetFrequency { grant: id, frequency: g.current });
+                events.push(SoaEvent::SetFrequency {
+                    grant: id,
+                    frequency: g.current,
+                });
             }
         }
         // Inside the hold band: do nothing.
@@ -553,6 +691,7 @@ impl ServerOverclockAgent {
         if !self.policy.explores() {
             return;
         }
+        let extra_before = self.explorer.extra;
         let limit = self.effective_budget();
         let threshold = (limit - self.config.power_buffer).clamp_non_negative();
         let plan = self.model.plan();
@@ -565,8 +704,8 @@ impl ServerOverclockAgent {
         match self.explorer.phase {
             Phase::Idle => {
                 if constrained && self.explorer.extra < self.config.explore_cap {
-                    self.explorer.extra =
-                        (self.explorer.extra + self.config.explore_step).min(self.config.explore_cap);
+                    self.explorer.extra = (self.explorer.extra + self.config.explore_step)
+                        .min(self.config.explore_cap);
                     self.explorer.phase = Phase::Exploring { since: now };
                 }
             }
@@ -578,8 +717,9 @@ impl ServerOverclockAgent {
                             .min(self.config.explore_cap);
                         self.explorer.phase = Phase::Exploring { since: now };
                     } else {
-                        self.explorer.phase =
-                            Phase::Exploiting { until: now + self.config.exploit_time };
+                        self.explorer.phase = Phase::Exploiting {
+                            until: now + self.config.exploit_time,
+                        };
                         self.explorer.backoff = self.config.backoff_initial;
                     }
                 }
@@ -594,6 +734,12 @@ impl ServerOverclockAgent {
                     self.explorer.phase = Phase::Idle;
                 }
             }
+        }
+        if self.explorer.extra != extra_before {
+            tm_event!(self.telemetry, now, Component::Soa, Severity::Debug, "explore_budget",
+                "server" => self.server_id,
+                "extra_w" => self.explorer.extra.get(),
+                "effective_w" => self.effective_budget().get());
         }
     }
 
@@ -663,8 +809,11 @@ mod tests {
     use soc_predict::template::TemplateKind;
 
     fn agent(policy: PolicyKind) -> ServerOverclockAgent {
-        let mut a =
-            ServerOverclockAgent::new(PowerModel::reference_server(), SoaConfig::reference(), policy);
+        let mut a = ServerOverclockAgent::new(
+            PowerModel::reference_server(),
+            SoaConfig::reference(),
+            policy,
+        );
         a.set_power_budget(Watts::new(450.0));
         a
     }
@@ -697,7 +846,9 @@ mod tests {
     fn rejects_on_power_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_template(flat_template(440.0)); // barely under the 450W budget
-        let err = a.request_overclock(SimTime::ZERO, oc_request(32)).unwrap_err();
+        let err = a
+            .request_overclock(SimTime::ZERO, oc_request(32))
+            .unwrap_err();
         assert_eq!(err, RejectReason::PowerBudget);
     }
 
@@ -712,10 +863,16 @@ mod tests {
     fn rejects_malformed_requests() {
         let mut a = agent(PolicyKind::SmartOClock);
         let mut bad = oc_request(0);
-        assert_eq!(a.request_overclock(SimTime::ZERO, bad.clone()).unwrap_err(), RejectReason::Invalid);
+        assert_eq!(
+            a.request_overclock(SimTime::ZERO, bad.clone()).unwrap_err(),
+            RejectReason::Invalid
+        );
         bad = oc_request(4);
         bad.target = MegaHertz::new(3300); // not above turbo
-        assert_eq!(a.request_overclock(SimTime::ZERO, bad).unwrap_err(), RejectReason::Invalid);
+        assert_eq!(
+            a.request_overclock(SimTime::ZERO, bad).unwrap_err(),
+            RejectReason::Invalid
+        );
     }
 
     #[test]
@@ -723,7 +880,8 @@ mod tests {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_template(flat_template(200.0));
         let before = a.lifetime_remaining();
-        let req = OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(2));
+        let req =
+            OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(2));
         a.request_overclock(SimTime::ZERO, req).unwrap();
         assert_eq!(before - a.lifetime_remaining(), SimDuration::from_hours(2));
     }
@@ -733,7 +891,8 @@ mod tests {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_template(flat_template(200.0));
         // Weekly budget is 16.8h; ask for 20h.
-        let req = OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(20));
+        let req =
+            OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(20));
         assert_eq!(
             a.request_overclock(SimTime::ZERO, req).unwrap_err(),
             RejectReason::LifetimeBudget
@@ -817,7 +976,11 @@ mod tests {
         let explored = a.effective_budget();
         assert!(explored > Watts::new(300.0));
         // Warning arrives while exploring: retreat one step.
-        let _ = a.control_tick(SimTime::from_secs(2), Watts::new(310.0), Some(RackSignal::Warning));
+        let _ = a.control_tick(
+            SimTime::from_secs(2),
+            Watts::new(310.0),
+            Some(RackSignal::Warning),
+        );
         assert_eq!(a.effective_budget(), Watts::new(300.0));
         assert_eq!(a.stats().warning_retreats, 1);
         // Backed off: no immediate re-exploration.
@@ -835,7 +998,9 @@ mod tests {
         a.set_power_budget(Watts::new(260.0));
         a.set_power_template(flat_template(250.0));
         // Not enough headroom for 16 cores: rejected for power.
-        let err = a.request_overclock(SimTime::ZERO, oc_request(16)).unwrap_err();
+        let err = a
+            .request_overclock(SimTime::ZERO, oc_request(16))
+            .unwrap_err();
         assert_eq!(err, RejectReason::PowerBudget);
         // The next control tick explores a bigger budget even though there
         // is no active grant.
@@ -863,8 +1028,16 @@ mod tests {
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
         let explored = a.effective_budget();
-        let _ = a.control_tick(SimTime::from_secs(2), Watts::new(310.0), Some(RackSignal::Warning));
-        assert_eq!(a.effective_budget(), explored, "NoWarning must ignore warnings");
+        let _ = a.control_tick(
+            SimTime::from_secs(2),
+            Watts::new(310.0),
+            Some(RackSignal::Warning),
+        );
+        assert_eq!(
+            a.effective_budget(),
+            explored,
+            "NoWarning must ignore warnings"
+        );
     }
 
     #[test]
@@ -889,7 +1062,11 @@ mod tests {
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
         let _ = a.control_tick(SimTime::from_secs(40), Watts::new(319.0), None);
         assert!(a.effective_budget() > Watts::new(300.0));
-        let _ = a.control_tick(SimTime::from_secs(41), Watts::new(340.0), Some(RackSignal::Capping));
+        let _ = a.control_tick(
+            SimTime::from_secs(41),
+            Watts::new(340.0),
+            Some(RackSignal::Capping),
+        );
         assert_eq!(a.effective_budget(), Watts::new(300.0));
         assert_eq!(a.stats().capping_resets, 1);
     }
@@ -898,8 +1075,12 @@ mod tests {
     fn schedule_expires_and_frequency_returns_to_turbo() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_template(flat_template(200.0));
-        let req =
-            OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_minutes(10));
+        let req = OverclockRequest::scheduled(
+            "vm",
+            4,
+            MegaHertz::new(4000),
+            SimDuration::from_minutes(10),
+        );
         let id = a.request_overclock(SimTime::ZERO, req).unwrap();
         let events = a.control_tick(
             SimTime::ZERO + SimDuration::from_minutes(11),
@@ -909,7 +1090,10 @@ mod tests {
         assert!(a.grant(id).is_none());
         assert!(events.iter().any(|e| matches!(
             e,
-            SoaEvent::GrantEnded { reason: GrantEndReason::ScheduleComplete, .. }
+            SoaEvent::GrantEnded {
+                reason: GrantEndReason::ScheduleComplete,
+                ..
+            }
         )));
     }
 
@@ -926,15 +1110,23 @@ mod tests {
         for _ in 0..300 {
             t += SimDuration::from_minutes(1);
             let events = a.control_tick(t, Watts::new(250.0), None);
-            if events.iter().any(|e| matches!(
-                e,
-                SoaEvent::GrantEnded { reason: GrantEndReason::LifetimeBudgetExhausted, .. }
-            )) {
+            if events.iter().any(|e| {
+                matches!(
+                    e,
+                    SoaEvent::GrantEnded {
+                        reason: GrantEndReason::LifetimeBudgetExhausted,
+                        ..
+                    }
+                )
+            }) {
                 ended = true;
                 break;
             }
         }
-        assert!(ended, "grant should end when the lifetime budget is exhausted");
+        assert!(
+            ended,
+            "grant should end when the lifetime budget is exhausted"
+        );
         assert_eq!(a.grants().count(), 0);
     }
 
@@ -949,15 +1141,23 @@ mod tests {
         for _ in 0..30 {
             t += SimDuration::from_minutes(1);
             let events = a.control_tick(t, Watts::new(250.0), None);
-            if events.iter().any(|e| matches!(
-                e,
-                SoaEvent::ExhaustionWarning { resource: ExhaustedResource::Lifetime, .. }
-            )) {
+            if events.iter().any(|e| {
+                matches!(
+                    e,
+                    SoaEvent::ExhaustionWarning {
+                        resource: ExhaustedResource::Lifetime,
+                        ..
+                    }
+                )
+            }) {
                 warned = true;
                 break;
             }
         }
-        assert!(warned, "lifetime exhaustion warning should fire before the budget dies");
+        assert!(
+            warned,
+            "lifetime exhaustion warning should fire before the budget dies"
+        );
     }
 
     #[test]
@@ -981,14 +1181,19 @@ mod tests {
         a.set_power_template(PowerTemplate::build(&hist, TemplateKind::DailyMed));
         // Start OC on the following Monday at 8:50; the 9:00 ramp collides
         // with the OC demand within the 15-minute window.
-        let now = SimTime::ZERO + SimDuration::WEEK + SimDuration::from_hours(8)
+        let now = SimTime::ZERO
+            + SimDuration::WEEK
+            + SimDuration::from_hours(8)
             + SimDuration::from_minutes(50);
         let _ = a.request_overclock(now, oc_request(8)).unwrap();
         let events = a.control_tick(now, Watts::new(260.0), None);
         assert!(
             events.iter().any(|e| matches!(
                 e,
-                SoaEvent::ExhaustionWarning { resource: ExhaustedResource::Power, .. }
+                SoaEvent::ExhaustionWarning {
+                    resource: ExhaustedResource::Power,
+                    ..
+                }
             )),
             "power exhaustion warning should fire before the 9AM ramp"
         );
@@ -1032,7 +1237,8 @@ mod tests {
         // Pre-wear the assigned cores to the brink of their per-core cap.
         let cap = a.tracker.per_core_cap();
         for &c in &original {
-            a.tracker.record(c, cap.saturating_sub(SimDuration::from_minutes(6)));
+            a.tracker
+                .record(c, cap.saturating_sub(SimDuration::from_minutes(6)));
         }
         // Ramp the grant above turbo, then let accounting notice exhaustion.
         let mut t = SimTime::ZERO;
@@ -1060,7 +1266,9 @@ mod tests {
         for c in 0..a.model().cores() {
             a.tracker.record(c, SimDuration::from_days(7));
         }
-        let err = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap_err();
+        let err = a
+            .request_overclock(SimTime::ZERO, oc_request(4))
+            .unwrap_err();
         assert_eq!(err, RejectReason::CoreBudget);
     }
 }

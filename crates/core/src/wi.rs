@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 use simcore::time::SimTime;
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 
 /// Which metric a metrics-based trigger watches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -41,8 +42,15 @@ impl MetricTrigger {
     /// # Panics
     /// Panics if `scale_down >= scale_up`.
     pub fn new(kind: MetricKind, scale_up: f64, scale_down: f64) -> MetricTrigger {
-        assert!(scale_down < scale_up, "scale_down must be below scale_up (hysteresis)");
-        MetricTrigger { kind, scale_up, scale_down }
+        assert!(
+            scale_down < scale_up,
+            "scale_down must be below scale_up (hysteresis)"
+        );
+        MetricTrigger {
+            kind,
+            scale_up,
+            scale_down,
+        }
     }
 }
 
@@ -68,7 +76,11 @@ impl ScheduleWindow {
             (0.0..24.0).contains(&start_hour) && start_hour < end_hour && end_hour <= 24.0,
             "invalid schedule window [{start_hour}, {end_hour})"
         );
-        ScheduleWindow { start_hour, end_hour, include_weekends }
+        ScheduleWindow {
+            start_hour,
+            end_hour,
+            include_weekends,
+        }
     }
 
     /// Whether `t` falls inside the window.
@@ -104,7 +116,11 @@ impl OverclockPolicy {
     /// `up_ms`, stop below `down_ms`.
     pub fn latency(up_ms: f64, down_ms: f64) -> OverclockPolicy {
         OverclockPolicy {
-            trigger: Some(MetricTrigger::new(MetricKind::TailLatencyMs, up_ms, down_ms)),
+            trigger: Some(MetricTrigger::new(
+                MetricKind::TailLatencyMs,
+                up_ms,
+                down_ms,
+            )),
             schedule: Vec::new(),
             rejections_before_scale_out: 4,
             scale_out_step: 1,
@@ -151,7 +167,10 @@ impl LocalWiAgent {
     /// Panics unless `alpha` is in `(0, 1]`.
     pub fn new(alpha: f64) -> LocalWiAgent {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        LocalWiAgent { alpha, smoothed: None }
+        LocalWiAgent {
+            alpha,
+            smoothed: None,
+        }
     }
 
     /// Feed one raw window observation; returns the smoothed metrics to
@@ -172,6 +191,24 @@ impl LocalWiAgent {
     /// The current smoothed metrics, if any observation arrived yet.
     pub fn current(&self) -> Option<VmMetrics> {
         self.smoothed
+    }
+
+    /// [`observe`](Self::observe) plus a `wi_observe` telemetry record
+    /// labelled with the VM index (high-volume, `Debug` severity).
+    pub fn observe_traced(
+        &mut self,
+        now: SimTime,
+        raw: VmMetrics,
+        telemetry: &Telemetry,
+        vm: usize,
+    ) -> VmMetrics {
+        let smoothed = self.observe(raw);
+        tm_event!(telemetry, now, Component::Wi, Severity::Debug, "wi_observe",
+            "vm" => vm,
+            "latency_ms" => smoothed.tail_latency_ms,
+            "util" => smoothed.cpu_utilization,
+            "queue" => smoothed.queue_length);
+        smoothed
     }
 }
 
@@ -278,13 +315,13 @@ impl GlobalWiAgent {
                 if value.is_finite() {
                     if value > trigger.scale_up {
                         want = true;
-                    } else if value < trigger.scale_down {
-                        // Explicit stop only if the schedule does not demand it.
-                        want = want || false;
-                    } else if self.overclocking {
+                    } else if value >= trigger.scale_down && self.overclocking {
                         // Inside the hysteresis band: keep the current state.
                         want = true;
                     }
+                    // Below the scale-down threshold `want` is left as the
+                    // schedule set it: explicit stop only if the schedule
+                    // does not demand overclocking.
                 }
             }
         }
@@ -306,7 +343,52 @@ impl GlobalWiAgent {
                 .trigger
                 .and_then(|t| self.aggregate(t.kind).map(|v| v < t.scale_down))
                 .unwrap_or(false);
-        WiDecision { overclock: want, scale_out, scale_in }
+        WiDecision {
+            overclock: want,
+            scale_out,
+            scale_in,
+        }
+    }
+
+    /// [`decide`](Self::decide) plus telemetry: emits `wi_oc_start` /
+    /// `wi_oc_stop` on trigger transitions and `wi_scale_out` / `wi_scale_in`
+    /// on corrective actions, labelled with the service index.
+    pub fn decide_traced(
+        &mut self,
+        now: SimTime,
+        telemetry: &Telemetry,
+        service: usize,
+    ) -> WiDecision {
+        let was_overclocking = self.overclocking;
+        let decision = self.decide(now);
+        if telemetry.is_enabled() {
+            if decision.overclock != was_overclocking {
+                let name = if decision.overclock {
+                    "wi_oc_start"
+                } else {
+                    "wi_oc_stop"
+                };
+                tm_event!(telemetry, now, Component::Wi, Severity::Info, name,
+                    "service" => service);
+            }
+            if decision.scale_out > 0 {
+                tm_event!(telemetry, now, Component::Wi, Severity::Info, "wi_scale_out",
+                    "service" => service,
+                    "instances" => decision.scale_out);
+                telemetry.metrics(|m| {
+                    m.inc_counter_by(
+                        "wi_scale_outs",
+                        &[("service", service.into())],
+                        decision.scale_out as u64,
+                    );
+                });
+            }
+            if decision.scale_in {
+                tm_event!(telemetry, now, Component::Wi, Severity::Debug, "wi_scale_in",
+                    "service" => service);
+            }
+        }
+        decision
     }
 
     /// Whether the agent currently wants the service overclocked.
@@ -321,7 +403,11 @@ mod tests {
     use simcore::time::SimDuration;
 
     fn metrics(latency: f64, util: f64) -> VmMetrics {
-        VmMetrics { tail_latency_ms: latency, cpu_utilization: util, queue_length: 0.0 }
+        VmMetrics {
+            tail_latency_ms: latency,
+            cpu_utilization: util,
+            queue_length: 0.0,
+        }
     }
 
     #[test]
@@ -344,7 +430,10 @@ mod tests {
     fn deployment_aggregation_uses_worst_tail() {
         let mut agent = GlobalWiAgent::new(OverclockPolicy::latency(100.0, 60.0));
         agent.report(vec![metrics(30.0, 0.2), metrics(150.0, 0.9)]);
-        assert!(agent.decide(SimTime::ZERO).overclock, "one hot VM trips the service");
+        assert!(
+            agent.decide(SimTime::ZERO).overclock,
+            "one hot VM trips the service"
+        );
     }
 
     #[test]

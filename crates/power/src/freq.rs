@@ -48,9 +48,17 @@ impl FrequencyPlan {
     ) -> FrequencyPlan {
         assert!(base.get() > 0, "base frequency must be positive");
         assert!(base <= turbo, "turbo must be at least base");
-        assert!(turbo <= max_overclock, "max overclock must be at least turbo");
+        assert!(
+            turbo <= max_overclock,
+            "max overclock must be at least turbo"
+        );
         assert!(step.get() > 0, "step must be positive");
-        FrequencyPlan { base, turbo, max_overclock, step }
+        FrequencyPlan {
+            base,
+            turbo,
+            max_overclock,
+            step,
+        }
     }
 
     /// The reference plan matching the paper's cluster: 2.45 GHz base,
@@ -172,8 +180,16 @@ impl VoltageCurve {
         slope_overclock: f64,
     ) -> VoltageCurve {
         assert!(v_base > 0.0, "base voltage must be positive");
-        assert!(slope_normal >= 0.0 && slope_overclock >= 0.0, "slopes must be non-negative");
-        VoltageCurve { v_base, slope_normal, slope_overclock, plan }
+        assert!(
+            slope_normal >= 0.0 && slope_overclock >= 0.0,
+            "slopes must be non-negative"
+        );
+        VoltageCurve {
+            v_base,
+            slope_normal,
+            slope_overclock,
+            plan,
+        }
     }
 
     /// Reference curve for [`FrequencyPlan::amd_reference`]: 0.95 V at base,
@@ -304,6 +320,9 @@ mod tests {
     fn voltage_clamps_out_of_range_frequencies() {
         let c = VoltageCurve::default();
         assert_eq!(c.voltage(MegaHertz::new(100)), c.voltage(c.plan().base()));
-        assert_eq!(c.voltage(MegaHertz::new(9000)), c.voltage(c.plan().max_overclock()));
+        assert_eq!(
+            c.voltage(MegaHertz::new(9000)),
+            c.voltage(c.plan().max_overclock())
+        );
     }
 }

@@ -24,7 +24,11 @@ impl PowerNode {
     /// Panics if `budget` is negative.
     pub fn leaf(name: impl Into<String>, budget: Watts) -> PowerNode {
         let budget = validate_budget(budget);
-        PowerNode { name: name.into(), budget, children: Vec::new() }
+        PowerNode {
+            name: name.into(),
+            budget,
+            children: Vec::new(),
+        }
     }
 
     /// Create an interior node with children.
@@ -37,7 +41,11 @@ impl PowerNode {
         children: Vec<PowerNode>,
     ) -> PowerNode {
         let budget = validate_budget(budget);
-        PowerNode { name: name.into(), budget, children }
+        PowerNode {
+            name: name.into(),
+            budget,
+            children,
+        }
     }
 
     /// Node name.
@@ -200,8 +208,14 @@ mod tests {
         let budgets = heterogeneous_split(
             Watts::new(1300.0),
             &[
-                DemandProfile { regular: Watts::new(400.0), overclock_demand: Watts::new(50.0) },
-                DemandProfile { regular: Watts::new(300.0), overclock_demand: Watts::new(100.0) },
+                DemandProfile {
+                    regular: Watts::new(400.0),
+                    overclock_demand: Watts::new(50.0),
+                },
+                DemandProfile {
+                    regular: Watts::new(300.0),
+                    overclock_demand: Watts::new(100.0),
+                },
             ],
         );
         assert_eq!(budgets, vec![Watts::new(600.0), Watts::new(700.0)]);
@@ -212,8 +226,14 @@ mod tests {
         let budgets = heterogeneous_split(
             Watts::new(1000.0),
             &[
-                DemandProfile { regular: Watts::new(300.0), overclock_demand: Watts::ZERO },
-                DemandProfile { regular: Watts::new(500.0), overclock_demand: Watts::ZERO },
+                DemandProfile {
+                    regular: Watts::new(300.0),
+                    overclock_demand: Watts::ZERO,
+                },
+                DemandProfile {
+                    regular: Watts::new(500.0),
+                    overclock_demand: Watts::ZERO,
+                },
             ],
         );
         assert_eq!(budgets, vec![Watts::new(400.0), Watts::new(600.0)]);
@@ -224,8 +244,14 @@ mod tests {
         let budgets = heterogeneous_split(
             Watts::new(600.0),
             &[
-                DemandProfile { regular: Watts::new(400.0), overclock_demand: Watts::new(50.0) },
-                DemandProfile { regular: Watts::new(800.0), overclock_demand: Watts::ZERO },
+                DemandProfile {
+                    regular: Watts::new(400.0),
+                    overclock_demand: Watts::new(50.0),
+                },
+                DemandProfile {
+                    regular: Watts::new(800.0),
+                    overclock_demand: Watts::ZERO,
+                },
             ],
         );
         assert_eq!(budgets, vec![Watts::new(200.0), Watts::new(400.0)]);

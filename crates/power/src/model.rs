@@ -37,7 +37,10 @@ impl CoreState {
             utilization.is_finite() && (0.0..=1.0).contains(&utilization),
             "utilization must be in [0, 1], got {utilization}"
         );
-        CoreState { utilization, frequency }
+        CoreState {
+            utilization,
+            frequency,
+        }
     }
 }
 
@@ -66,17 +69,35 @@ impl PowerModel {
     ///
     /// # Panics
     /// Panics if `cores == 0`, or either power figure is negative.
-    pub fn new(idle: Watts, per_core_dyn_turbo: Watts, cores: usize, curve: VoltageCurve) -> PowerModel {
+    pub fn new(
+        idle: Watts,
+        per_core_dyn_turbo: Watts,
+        cores: usize,
+        curve: VoltageCurve,
+    ) -> PowerModel {
         assert!(cores > 0, "a server needs at least one core");
-        assert!(idle.get() >= 0.0 && per_core_dyn_turbo.get() >= 0.0, "power must be non-negative");
-        PowerModel { idle, per_core_dyn_turbo, cores, curve }
+        assert!(
+            idle.get() >= 0.0 && per_core_dyn_turbo.get() >= 0.0,
+            "power must be non-negative"
+        );
+        PowerModel {
+            idle,
+            per_core_dyn_turbo,
+            cores,
+            curve,
+        }
     }
 
     /// The reference server matching the paper's cluster: 64 cores,
     /// ~100 W idle, ~400 W at full load on turbo, ~2x dynamic power when
     /// overclocked to 4.0 GHz.
     pub fn reference_server() -> PowerModel {
-        PowerModel::new(Watts::new(100.0), Watts::new(4.7), 64, VoltageCurve::default())
+        PowerModel::new(
+            Watts::new(100.0),
+            Watts::new(4.7),
+            64,
+            VoltageCurve::default(),
+        )
     }
 
     /// An Intel-generation server for the mixed fleets of §V-B ("servers
@@ -129,9 +150,14 @@ impl PowerModel {
     /// # Panics
     /// Panics if `states.len()` exceeds the core count.
     pub fn server_power(&self, states: &[CoreState]) -> Watts {
-        assert!(states.len() <= self.cores, "more core states than physical cores");
-        let dynamic: Watts =
-            states.iter().map(|c| self.core_power(c.utilization, c.frequency)).sum();
+        assert!(
+            states.len() <= self.cores,
+            "more core states than physical cores"
+        );
+        let dynamic: Watts = states
+            .iter()
+            .map(|c| self.core_power(c.utilization, c.frequency))
+            .sum();
         self.idle + dynamic
     }
 
@@ -152,7 +178,10 @@ impl PowerModel {
         oc_cores: usize,
         oc_freq: MegaHertz,
     ) -> Watts {
-        assert!(oc_cores <= self.cores, "cannot overclock more cores than exist");
+        assert!(
+            oc_cores <= self.cores,
+            "cannot overclock more cores than exist"
+        );
         let turbo = self.plan().turbo();
         let normal = self.core_power(utilization, turbo) * (self.cores - oc_cores) as f64;
         let oc = self.core_power(utilization, oc_freq) * oc_cores as f64;
@@ -162,12 +191,7 @@ impl PowerModel {
     /// Extra power from overclocking `oc_cores` cores from turbo to
     /// `oc_freq` at the given utilization — the quantity the sOA reserves
     /// during admission control (§IV-B).
-    pub fn overclock_delta(
-        &self,
-        utilization: f64,
-        oc_cores: usize,
-        oc_freq: MegaHertz,
-    ) -> Watts {
+    pub fn overclock_delta(&self, utilization: f64, oc_cores: usize, oc_freq: MegaHertz) -> Watts {
         let turbo = self.plan().turbo();
         (self.core_power(utilization, oc_freq) - self.core_power(utilization, turbo))
             * oc_cores as f64
@@ -205,7 +229,9 @@ impl PowerModel {
         } else {
             ((observed - self.idle).get() / denom).clamp(0.0, 1.0)
         };
-        let oc_extra = self.overclock_delta(util, oc_cores, oc_freq).clamp_non_negative();
+        let oc_extra = self
+            .overclock_delta(util, oc_cores, oc_freq)
+            .clamp_non_negative();
         let regular = (observed - oc_extra).clamp_non_negative();
         (regular, oc_extra)
     }
@@ -278,7 +304,10 @@ mod tests {
         let observed = m.server_power_mixed(util, 10, oc_freq);
         let (regular, extra) = m.split_regular_overclock(observed, 10, oc_freq);
         let expected_extra = m.overclock_delta(util, 10, oc_freq);
-        assert!((extra - expected_extra).get().abs() < 1e-6, "extra={extra} expected={expected_extra}");
+        assert!(
+            (extra - expected_extra).get().abs() < 1e-6,
+            "extra={extra} expected={expected_extra}"
+        );
         assert!((regular + extra - observed).get().abs() < 1e-9);
     }
 

@@ -243,8 +243,18 @@ mod tests {
     #[test]
     fn shed_low_priority_first() {
         let cands = [
-            CapCandidate { index: 0, priority: 10, draw: Watts::new(60.0), min_draw: Watts::new(30.0) },
-            CapCandidate { index: 1, priority: 1, draw: Watts::new(60.0), min_draw: Watts::new(30.0) },
+            CapCandidate {
+                index: 0,
+                priority: 10,
+                draw: Watts::new(60.0),
+                min_draw: Watts::new(30.0),
+            },
+            CapCandidate {
+                index: 1,
+                priority: 1,
+                draw: Watts::new(60.0),
+                min_draw: Watts::new(30.0),
+            },
         ];
         // Total 120, limit 100 → shed 20, all from server 1 (low priority).
         let sheds = prioritized_shed(&cands, Watts::new(100.0));
@@ -254,8 +264,18 @@ mod tests {
     #[test]
     fn shed_cascades_to_higher_priority() {
         let cands = [
-            CapCandidate { index: 0, priority: 10, draw: Watts::new(60.0), min_draw: Watts::new(30.0) },
-            CapCandidate { index: 1, priority: 1, draw: Watts::new(60.0), min_draw: Watts::new(50.0) },
+            CapCandidate {
+                index: 0,
+                priority: 10,
+                draw: Watts::new(60.0),
+                min_draw: Watts::new(30.0),
+            },
+            CapCandidate {
+                index: 1,
+                priority: 1,
+                draw: Watts::new(60.0),
+                min_draw: Watts::new(50.0),
+            },
         ];
         // Shed 20: server 1 can only give 10, server 0 gives the rest.
         let sheds = prioritized_shed(&cands, Watts::new(100.0));
@@ -264,9 +284,12 @@ mod tests {
 
     #[test]
     fn shed_best_effort_when_infeasible() {
-        let cands = [
-            CapCandidate { index: 0, priority: 1, draw: Watts::new(60.0), min_draw: Watts::new(55.0) },
-        ];
+        let cands = [CapCandidate {
+            index: 0,
+            priority: 1,
+            draw: Watts::new(60.0),
+            min_draw: Watts::new(55.0),
+        }];
         let sheds = prioritized_shed(&cands, Watts::new(10.0));
         assert_eq!(sheds, vec![(0, Watts::new(5.0))]);
     }

@@ -223,7 +223,10 @@ impl Volts {
     /// # Panics
     /// Panics if `v` is negative or NaN.
     pub fn new(v: f64) -> Volts {
-        assert!(v.is_finite() && v >= 0.0, "voltage must be finite and non-negative");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "voltage must be finite and non-negative"
+        );
         Volts(v)
     }
 
@@ -287,7 +290,10 @@ mod tests {
         assert_eq!(f - MegaHertz::new(300), MegaHertz::new(3000));
         assert_eq!(f.saturating_sub(MegaHertz::new(5000)), MegaHertz::ZERO);
         assert_eq!(f.as_ghz(), 3.3);
-        assert_eq!(MegaHertz::new(5000).clamp(MegaHertz::new(2000), MegaHertz::new(4000)), MegaHertz::new(4000));
+        assert_eq!(
+            MegaHertz::new(5000).clamp(MegaHertz::new(2000), MegaHertz::new(4000)),
+            MegaHertz::new(4000)
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub struct WalkForwardReport {
 pub fn walk_forward(series: &TimeSeries, kind: TemplateKind) -> WalkForwardReport {
     let week_us = SimDuration::WEEK.as_micros();
     let total_weeks = (series.end().since(series.start()).as_micros() / week_us) as usize;
-    assert!(total_weeks >= 2, "walk-forward evaluation needs at least two full weeks");
+    assert!(
+        total_weeks >= 2,
+        "walk-forward evaluation needs at least two full weeks"
+    );
 
     let mut predicted = Vec::new();
     let mut actual = Vec::new();
@@ -58,7 +61,10 @@ pub fn walk_forward(series: &TimeSeries, kind: TemplateKind) -> WalkForwardRepor
 
 /// Evaluate all five techniques on one series.
 pub fn compare_all(series: &TimeSeries) -> Vec<(TemplateKind, WalkForwardReport)> {
-    TemplateKind::ALL.iter().map(|&k| (k, walk_forward(series, k))).collect()
+    TemplateKind::ALL
+        .iter()
+        .map(|&k| (k, walk_forward(series, k)))
+        .collect()
 }
 
 /// Build a template at a given instant from the trailing week of history —
@@ -105,8 +111,18 @@ mod tests {
         let daily = walk_forward(&s, TemplateKind::DailyMed);
         let flat_med = walk_forward(&s, TemplateKind::FlatMed);
         let flat_max = walk_forward(&s, TemplateKind::FlatMax);
-        assert!(daily.rmse < flat_med.rmse, "{} vs {}", daily.rmse, flat_med.rmse);
-        assert!(daily.rmse < flat_max.rmse, "{} vs {}", daily.rmse, flat_max.rmse);
+        assert!(
+            daily.rmse < flat_med.rmse,
+            "{} vs {}",
+            daily.rmse,
+            flat_med.rmse
+        );
+        assert!(
+            daily.rmse < flat_max.rmse,
+            "{} vs {}",
+            daily.rmse,
+            flat_max.rmse
+        );
     }
 
     #[test]
@@ -171,6 +187,10 @@ mod tests {
     #[should_panic(expected = "history must cover")]
     fn template_at_validates_coverage() {
         let s = noisy_series(2, false);
-        let _ = template_at(&s, SimTime::ZERO + SimDuration::WEEK * 5, TemplateKind::DailyMed);
+        let _ = template_at(
+            &s,
+            SimTime::ZERO + SimDuration::WEEK * 5,
+            TemplateKind::DailyMed,
+        );
     }
 }

@@ -88,10 +88,15 @@ impl PowerTemplate {
     /// Panics if `history` is empty, or (for `Weekly`/`Daily*`) shorter than
     /// one full week, or if the step does not divide a day evenly.
     pub fn build(history: &TimeSeries, kind: TemplateKind) -> PowerTemplate {
-        assert!(!history.is_empty(), "cannot build a template from an empty history");
+        assert!(
+            !history.is_empty(),
+            "cannot build a template from an empty history"
+        );
         let step = history.step();
         assert!(
-            SimDuration::DAY.as_micros() % step.as_micros() == 0,
+            SimDuration::DAY
+                .as_micros()
+                .is_multiple_of(step.as_micros()),
             "step must divide a day evenly"
         );
         let repr = match kind {
@@ -153,7 +158,11 @@ impl PowerTemplate {
                 week[slot]
             }
             Repr::Daily { weekday, weekend } => {
-                let profile = if t.weekday().is_weekend() { weekend } else { weekday };
+                let profile = if t.weekday().is_weekend() {
+                    weekend
+                } else {
+                    weekday
+                };
                 let slot =
                     (t.time_of_day().as_micros() / self.step.as_micros()) as usize % profile.len();
                 profile[slot]
@@ -338,7 +347,10 @@ mod tests {
             .expect("threshold is reached in the afternoon");
         assert_eq!(hit.since(from), SimDuration::from_hours(15));
         // A threshold above the peak is never reached.
-        assert_eq!(tpl.next_time_at_or_above(from, 1e9, SimDuration::from_days(2)), None);
+        assert_eq!(
+            tpl.next_time_at_or_above(from, 1e9, SimDuration::from_days(2)),
+            None
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub enum BudgetError {
 impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BudgetError::InsufficientBudget { requested_us, available_us } => write!(
+            BudgetError::InsufficientBudget {
+                requested_us,
+                available_us,
+            } => write!(
                 f,
                 "insufficient overclocking budget: requested {}us, available {}us",
                 requested_us, available_us
@@ -89,7 +92,10 @@ impl OverclockBudget {
     /// # Panics
     /// Panics if `fraction` is outside `[0, 1]` or `epoch` is zero.
     pub fn new(fraction: f64, epoch: SimDuration) -> OverclockBudget {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         assert!(!epoch.is_zero(), "epoch must be non-zero");
         OverclockBudget {
             fraction,
@@ -277,7 +283,8 @@ mod tests {
     #[test]
     fn consume_reduces_remaining() {
         let mut b = week_budget();
-        b.consume(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.consume(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         assert!((b.remaining().as_hours_f64() - 6.8).abs() < 1e-9);
         assert_eq!(b.total_consumed(), SimDuration::from_hours(10));
     }
@@ -285,7 +292,9 @@ mod tests {
     #[test]
     fn overconsumption_rejected() {
         let mut b = week_budget();
-        let err = b.consume(SimTime::ZERO, SimDuration::from_hours(20)).unwrap_err();
+        let err = b
+            .consume(SimTime::ZERO, SimDuration::from_hours(20))
+            .unwrap_err();
         assert!(matches!(err, BudgetError::InsufficientBudget { .. }));
         assert_eq!(b.total_consumed(), SimDuration::ZERO);
     }
@@ -293,7 +302,8 @@ mod tests {
     #[test]
     fn carry_over_moves_unused_budget() {
         let mut b = week_budget();
-        b.consume(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.consume(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         // Next week: 16.8 allowance + 6.8 carried = 23.6 h.
         b.advance_to(SimTime::ZERO + SimDuration::WEEK);
         assert!((b.remaining().as_hours_f64() - 23.6).abs() < 1e-9);
@@ -310,19 +320,24 @@ mod tests {
     #[test]
     fn reservations_block_unscheduled_consumption() {
         let mut b = week_budget();
-        b.reserve(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.reserve(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         assert!((b.remaining().as_hours_f64() - 6.8).abs() < 1e-9);
-        let err = b.consume(SimTime::ZERO, SimDuration::from_hours(7)).unwrap_err();
+        let err = b
+            .consume(SimTime::ZERO, SimDuration::from_hours(7))
+            .unwrap_err();
         assert!(matches!(err, BudgetError::InsufficientBudget { .. }));
         // But the reservation holder can consume it.
-        b.consume_reserved(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.consume_reserved(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         assert_eq!(b.reserved(), SimDuration::ZERO);
     }
 
     #[test]
     fn release_returns_budget() {
         let mut b = week_budget();
-        b.reserve(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.reserve(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         b.release(SimDuration::from_hours(4)).unwrap();
         assert_eq!(b.reserved(), SimDuration::from_hours(6));
         assert!((b.remaining().as_hours_f64() - 10.8).abs() < 1e-9);
@@ -335,7 +350,8 @@ mod tests {
     #[test]
     fn reservations_cleared_at_epoch_boundary() {
         let mut b = week_budget();
-        b.reserve(SimTime::ZERO, SimDuration::from_hours(10)).unwrap();
+        b.reserve(SimTime::ZERO, SimDuration::from_hours(10))
+            .unwrap();
         b.advance_to(SimTime::ZERO + SimDuration::WEEK);
         assert_eq!(b.reserved(), SimDuration::ZERO);
     }
@@ -343,7 +359,8 @@ mod tests {
     #[test]
     fn time_to_exhaustion_reports_remaining() {
         let mut b = week_budget();
-        b.consume(SimTime::ZERO, SimDuration::from_hours(16)).unwrap();
+        b.consume(SimTime::ZERO, SimDuration::from_hours(16))
+            .unwrap();
         let t = b.time_to_exhaustion(SimTime::ZERO).unwrap();
         assert!((t.as_hours_f64() - 0.8).abs() < 1e-9);
         b.consume(SimTime::ZERO, t).unwrap();

@@ -42,7 +42,10 @@ pub struct WearoutCounter {
 impl WearoutCounter {
     /// A fresh counter for a part described by `model`.
     pub fn new(model: WearModel) -> WearoutCounter {
-        WearoutCounter { model, ledger: AgeingLedger::new() }
+        WearoutCounter {
+            model,
+            ledger: AgeingLedger::new(),
+        }
     }
 
     /// The wear model used for integration.
@@ -54,13 +57,7 @@ impl WearoutCounter {
     ///
     /// # Panics
     /// Panics if `utilization` is outside `[0, 1]`.
-    pub fn record(
-        &mut self,
-        utilization: f64,
-        frequency: MegaHertz,
-        temp_c: f64,
-        dt: SimDuration,
-    ) {
+    pub fn record(&mut self, utilization: f64, frequency: MegaHertz, temp_c: f64, dt: SimDuration) {
         let rate = self.model.ageing_rate(utilization, frequency, temp_c);
         self.ledger.record(rate, dt);
     }
@@ -192,9 +189,13 @@ mod tests {
         let m = model();
         let mut c = WearoutCounter::new(m.clone());
         c.record(0.2, plan().turbo(), 55.0, SimDuration::from_days(1));
-        let t1 = c.time_to_exhaustion(0.9, plan().max_overclock(), 75.0).expect("consuming state");
+        let t1 = c
+            .time_to_exhaustion(0.9, plan().max_overclock(), 75.0)
+            .expect("consuming state");
         c.record(0.2, plan().turbo(), 55.0, SimDuration::from_days(1));
-        let t2 = c.time_to_exhaustion(0.9, plan().max_overclock(), 75.0).expect("consuming state");
+        let t2 = c
+            .time_to_exhaustion(0.9, plan().max_overclock(), 75.0)
+            .expect("consuming state");
         assert!(t2 > t1, "more credit must buy more time");
         // Non-consuming state has no exhaustion.
         assert!(c.time_to_exhaustion(0.1, plan().turbo(), 50.0).is_none());
@@ -205,7 +206,9 @@ mod tests {
         // §VI's argument: a part that idles most of the day can overclock far
         // beyond the flat 10% offline certificate.
         let m = model();
-        let profile: Vec<f64> = (0..288).map(|i| if i % 12 == 0 { 0.6 } else { 0.15 }).collect();
+        let profile: Vec<f64> = (0..288)
+            .map(|i| if i % 12 == 0 { 0.6 } else { 0.15 })
+            .collect();
         let (offline, online) =
             offline_vs_online_grant(&m, &profile, SimDuration::from_minutes(5), 0.10, 60.0);
         assert!(
@@ -217,7 +220,9 @@ mod tests {
     #[test]
     fn online_stays_within_lifetime_goal() {
         let m = model();
-        let profile: Vec<f64> = (0..2016).map(|i| 0.3 + 0.3 * ((i / 288) % 2) as f64).collect();
+        let profile: Vec<f64> = (0..2016)
+            .map(|i| 0.3 + 0.3 * ((i / 288) % 2) as f64)
+            .collect();
         let mut c = WearoutCounter::new(m.clone());
         let oc = plan().max_overclock();
         for &u in &profile {
@@ -227,6 +232,9 @@ mod tests {
                 c.record(u, plan().turbo(), 65.0, SimDuration::from_minutes(5));
             }
         }
-        assert!(c.within_budget(), "the online policy must never exceed reference ageing");
+        assert!(
+            c.within_budget(),
+            "the online policy must never exceed reference ageing"
+        );
     }
 }

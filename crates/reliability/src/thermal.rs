@@ -97,7 +97,11 @@ impl ThermalModel {
     /// Panics if `tau` is zero.
     pub fn new(cooling: Cooling, tau: SimDuration) -> ThermalModel {
         assert!(!tau.is_zero(), "thermal time constant must be non-zero");
-        ThermalModel { cooling, tau, junction_c: cooling.ambient_c() }
+        ThermalModel {
+            cooling,
+            tau,
+            junction_c: cooling.ambient_c(),
+        }
     }
 
     /// The cooling technology.

@@ -38,7 +38,10 @@ impl TimeInState {
     /// Panics if `cores == 0`.
     pub fn new(cores: usize, per_core_cap: SimDuration) -> TimeInState {
         assert!(cores > 0, "need at least one core");
-        TimeInState { per_core_cap, overclocked: vec![SimDuration::ZERO; cores] }
+        TimeInState {
+            per_core_cap,
+            overclocked: vec![SimDuration::ZERO; cores],
+        }
     }
 
     /// Number of tracked cores.
@@ -99,8 +102,9 @@ impl TimeInState {
     /// least-worn cores (wear levelling). Returns fewer than `n` if not
     /// enough cores qualify.
     pub fn pick_cores(&self, n: usize, dt: SimDuration) -> Vec<usize> {
-        let mut candidates: Vec<usize> =
-            (0..self.cores()).filter(|&i| self.has_budget(i, dt)).collect();
+        let mut candidates: Vec<usize> = (0..self.cores())
+            .filter(|&i| self.has_budget(i, dt))
+            .collect();
         candidates.sort_by_key(|&i| (self.overclocked[i].as_micros(), i));
         candidates.truncate(n);
         candidates
@@ -108,7 +112,9 @@ impl TimeInState {
 
     /// Total overclocked time across cores.
     pub fn total_consumed(&self) -> SimDuration {
-        self.overclocked.iter().fold(SimDuration::ZERO, |a, &b| a + b)
+        self.overclocked
+            .iter()
+            .fold(SimDuration::ZERO, |a, &b| a + b)
     }
 
     /// Reset all counters (epoch rollover).

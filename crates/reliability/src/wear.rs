@@ -80,10 +80,20 @@ impl WearModel {
             ("k_voltage", k_voltage),
             ("k_temp", k_temp),
         ] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative"
+            );
         }
         assert!(t_ref_c.is_finite(), "reference temperature must be finite");
-        WearModel { alpha, beta, k_voltage, k_temp, t_ref_c, curve }
+        WearModel {
+            alpha,
+            beta,
+            k_voltage,
+            k_temp,
+            t_ref_c,
+            curve,
+        }
     }
 
     /// The reference calibration satisfying the paper's anchors:
@@ -158,8 +168,7 @@ impl WearModel {
         temp_c: f64,
     ) -> f64 {
         let oc_rate = self.ageing_rate(utilization_while_oc, frequency, temp_c);
-        let turbo_rate =
-            self.ageing_rate(utilization_while_oc, self.curve.plan().turbo(), temp_c);
+        let turbo_rate = self.ageing_rate(utilization_while_oc, self.curve.plan().turbo(), temp_c);
         let extra = oc_rate - turbo_rate;
         if extra <= 0.0 {
             return 1.0;
@@ -207,7 +216,10 @@ impl AgeingLedger {
     /// # Panics
     /// Panics if `rate` is negative or non-finite.
     pub fn record(&mut self, rate: f64, dt: SimDuration) {
-        assert!(rate.is_finite() && rate >= 0.0, "ageing rate must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "ageing rate must be finite and non-negative"
+        );
         self.actual_days += rate * dt.as_days_f64();
         self.elapsed_days += dt.as_days_f64();
     }
@@ -290,13 +302,15 @@ mod tests {
         let baseline_rate = (8.0 * m.ageing_rate(0.65, plan().turbo(), t)
             + 16.0 * m.ageing_rate(0.2, plan().turbo(), t))
             / 24.0;
-        assert!(baseline_rate < 1.0, "baseline must accrue credit, rate = {baseline_rate}");
-        let frac =
-            m.affordable_overclock_fraction(baseline_rate, 0.65, plan().max_overclock(), t);
+        assert!(
+            baseline_rate < 1.0,
+            "baseline must accrue credit, rate = {baseline_rate}"
+        );
+        let frac = m.affordable_overclock_fraction(baseline_rate, 0.65, plan().max_overclock(), t);
         assert!(frac > 0.0 && frac < 1.0, "fraction = {frac}");
         // Overclocking for that fraction of the time must not exceed 1.0.
-        let oc_extra = m.ageing_rate(0.65, plan().max_overclock(), t)
-            - m.ageing_rate(0.65, plan().turbo(), t);
+        let oc_extra =
+            m.ageing_rate(0.65, plan().max_overclock(), t) - m.ageing_rate(0.65, plan().turbo(), t);
         let total = baseline_rate + frac * oc_extra;
         assert!(total <= 1.0 + 1e-9, "total = {total}");
     }
@@ -359,7 +373,8 @@ mod tests {
     #[test]
     fn affordable_fraction_zero_when_no_credit() {
         let m = model();
-        let f = m.affordable_overclock_fraction(1.2, 0.8, plan().max_overclock(), m.reference_temp_c());
+        let f =
+            m.affordable_overclock_fraction(1.2, 0.8, plan().max_overclock(), m.reference_temp_c());
         assert_eq!(f, 0.0);
     }
 

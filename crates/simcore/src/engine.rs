@@ -42,7 +42,11 @@ impl<'a, E> Scheduler<'a, E> {
     /// # Panics
     /// Panics if `at` is in the past — events may not rewrite history.
     pub fn at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.queue.push(at, event);
     }
 
@@ -93,7 +97,11 @@ impl<E> Default for Engine<E> {
 impl<E> Engine<E> {
     /// Create an engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Engine<E> {
-        Engine { now: SimTime::ZERO, queue: EventQueue::new(), processed: 0 }
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
     }
 
     /// The current simulated time (time of the last processed event).
@@ -134,7 +142,10 @@ impl<E> Engine<E> {
             debug_assert!(t >= self.now, "event queue returned a past event");
             self.now = t;
             self.processed += 1;
-            let mut sched = Scheduler { now: t, queue: &mut self.queue };
+            let mut sched = Scheduler {
+                now: t,
+                queue: &mut self.queue,
+            };
             process.handle(t, event, &mut sched);
         }
     }

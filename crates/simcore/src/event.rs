@@ -33,7 +33,10 @@ impl<E> PartialOrd for Scheduled<E> {
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event is on top.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -68,12 +71,18 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Create an empty queue with capacity for `cap` events.
     pub fn with_capacity(cap: usize) -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
     }
 
     /// Schedule `event` at `time`.
@@ -162,8 +171,9 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let q: EventQueue<u8> =
-            vec![(SimTime::from_secs(1), 1u8), (SimTime::from_secs(0), 0u8)].into_iter().collect();
+        let q: EventQueue<u8> = vec![(SimTime::from_secs(1), 1u8), (SimTime::from_secs(0), 0u8)]
+            .into_iter()
+            .collect();
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(SimTime::ZERO));
     }

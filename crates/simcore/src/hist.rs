@@ -46,7 +46,10 @@ impl Histogram {
     /// # Panics
     /// Panics unless `precision` is in `(0, 1)`.
     pub fn new(precision: f64) -> Histogram {
-        assert!(precision > 0.0 && precision < 1.0, "precision must be in (0, 1)");
+        assert!(
+            precision > 0.0 && precision < 1.0,
+            "precision must be in (0, 1)"
+        );
         Histogram {
             precision,
             log_gamma: (1.0 + precision).ln(),
@@ -64,7 +67,10 @@ impl Histogram {
     /// # Panics
     /// Panics if `value` is negative or not finite.
     pub fn record(&mut self, value: f64) {
-        assert!(value.is_finite() && value >= 0.0, "values must be finite and non-negative");
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "values must be finite and non-negative"
+        );
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);

@@ -30,7 +30,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: &[&str]) -> Table {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row.
@@ -38,7 +41,11 @@ impl Table {
     /// # Panics
     /// Panics if the cell count does not match the header count.
     pub fn row(&mut self, cells: &[String]) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(cells.to_vec());
     }
 
@@ -160,6 +167,46 @@ mod tests {
         t.row(&["x,y".into(), "say \"hi\"".into()]);
         let csv = t.to_csv();
         assert_eq!(csv.lines().nth(1).unwrap(), "\"x,y\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn csv_quotes_newlines_and_leaves_plain_cells_bare() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row(&["line1\nline2".into(), "plain".into()]);
+        let csv = t.to_csv();
+        // The embedded newline is preserved inside one quoted field, so the
+        // record spans two physical lines; the plain cell stays unquoted.
+        assert!(csv.contains("\"line1\nline2\",plain\n"));
+        assert_eq!(csv.lines().next().unwrap(), "k,v");
+    }
+
+    #[test]
+    fn csv_header_cells_are_escaped_too() {
+        let mut t = Table::new(&["name, unit", "v"]);
+        t.row(&["x".into(), "1".into()]);
+        assert_eq!(t.to_csv().lines().next().unwrap(), "\"name, unit\",v");
+    }
+
+    #[test]
+    fn empty_table_renders_headers_and_rule_only() {
+        let t = Table::new(&["only"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines, vec!["only", "----"]);
+        assert_eq!(t.to_csv(), "only\n");
+    }
+
+    #[test]
+    fn render_pads_to_widest_cell_not_header() {
+        let mut t = Table::new(&["h", "x"]);
+        t.row(&["wide-cell".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        // Header column is padded out to the widest data cell.
+        assert_eq!(lines[0], "h          x");
+        assert_eq!(lines[1].len(), "wide-cell".len() + 2 + 1);
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl Pcg32 {
     /// for the same seed; the workspace derives per-entity streams this way
     /// (e.g. one stream per simulated server).
     pub fn new(seed: u64, stream: u64) -> Pcg32 {
-        let mut rng = Pcg32 { state: 0, inc: (stream << 1) | 1 };
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
         let _ = rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         let _ = rng.next_u32();
@@ -78,7 +81,10 @@ impl Pcg32 {
     /// # Panics
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 
@@ -149,7 +155,10 @@ impl Pcg32 {
     /// # Panics
     /// Panics if `mean` is negative or not finite.
     pub fn sample_poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean.is_finite() && mean >= 0.0, "mean must be finite and non-negative");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "mean must be finite and non-negative"
+        );
         if mean == 0.0 {
             return 0;
         }
@@ -175,7 +184,10 @@ impl Pcg32 {
     /// # Panics
     /// Panics if `alpha <= 0`, `scale <= 0`, or `cap < scale`.
     pub fn sample_bounded_pareto(&mut self, alpha: f64, scale: f64, cap: f64) -> f64 {
-        assert!(alpha > 0.0 && scale > 0.0 && cap >= scale, "invalid Pareto parameters");
+        assert!(
+            alpha > 0.0 && scale > 0.0 && cap >= scale,
+            "invalid Pareto parameters"
+        );
         let u = self.next_f64();
         let ha = cap.powf(-alpha);
         let la = scale.powf(-alpha);
@@ -283,10 +295,14 @@ mod tests {
     #[test]
     fn poisson_mean_small_and_large() {
         let mut rng = Pcg32::seed_from_u64(13);
-        let small: Vec<f64> = (0..20_000).map(|_| rng.sample_poisson(3.5) as f64).collect();
+        let small: Vec<f64> = (0..20_000)
+            .map(|_| rng.sample_poisson(3.5) as f64)
+            .collect();
         let (m, _) = mean_and_var(&small);
         assert!((m - 3.5).abs() < 0.1, "small mean {m}");
-        let large: Vec<f64> = (0..20_000).map(|_| rng.sample_poisson(200.0) as f64).collect();
+        let large: Vec<f64> = (0..20_000)
+            .map(|_| rng.sample_poisson(200.0) as f64)
+            .collect();
         let (m, _) = mean_and_var(&large);
         assert!((m - 200.0).abs() < 1.0, "large mean {m}");
     }

@@ -37,7 +37,11 @@ impl TimeSeries {
     /// Panics if `step` is zero.
     pub fn new(start: SimTime, step: SimDuration) -> TimeSeries {
         assert!(!step.is_zero(), "step must be non-zero");
-        TimeSeries { start, step, values: Vec::new() }
+        TimeSeries {
+            start,
+            step,
+            values: Vec::new(),
+        }
     }
 
     /// Create a series from existing values.
@@ -46,7 +50,11 @@ impl TimeSeries {
     /// Panics if `step` is zero.
     pub fn from_values(start: SimTime, step: SimDuration, values: Vec<f64>) -> TimeSeries {
         assert!(!step.is_zero(), "step must be non-zero");
-        TimeSeries { start, step, values }
+        TimeSeries {
+            start,
+            step,
+            values,
+        }
     }
 
     /// Generate a series by sampling `f` at each tick in `[start, end)`.
@@ -60,7 +68,11 @@ impl TimeSeries {
         mut f: F,
     ) -> TimeSeries {
         let values = crate::time::ticks(start, end, step).map(&mut f).collect();
-        TimeSeries { start, step, values }
+        TimeSeries {
+            start,
+            step,
+            values,
+        }
     }
 
     /// First sample's timestamp.
@@ -114,7 +126,10 @@ impl TimeSeries {
 
     /// Iterate over `(timestamp, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
-        self.values.iter().enumerate().map(|(i, &v)| (self.time_at_index(i), v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.time_at_index(i), v))
     }
 
     /// Element-wise sum of multiple series with identical start/step/len.
@@ -133,7 +148,11 @@ impl TimeSeries {
         let values = (0..first.len())
             .map(|i| series.iter().map(|s| s.values[i]).sum())
             .collect();
-        TimeSeries { start: first.start, step: first.step, values }
+        TimeSeries {
+            start: first.start,
+            step: first.step,
+            values,
+        }
     }
 
     /// Apply a function to every value, producing a new series.
@@ -150,14 +169,16 @@ impl TimeSeries {
         let lo = if from <= self.start {
             0
         } else {
-            ((from.since(self.start).as_micros() + self.step.as_micros() - 1)
-                / self.step.as_micros()) as usize
+            from.since(self.start)
+                .as_micros()
+                .div_ceil(self.step.as_micros()) as usize
         };
         let hi = if to <= self.start {
             0
         } else {
-            ((to.since(self.start).as_micros() + self.step.as_micros() - 1)
-                / self.step.as_micros()) as usize
+            to.since(self.start)
+                .as_micros()
+                .div_ceil(self.step.as_micros()) as usize
         };
         let lo = lo.min(self.values.len());
         let hi = hi.min(self.values.len()).max(lo);
@@ -176,10 +197,7 @@ impl TimeSeries {
     /// consumption at 9AM across all five weekdays", §IV-B).
     ///
     /// `day_filter` selects which weekdays participate (e.g. weekdays only).
-    pub fn group_by_time_of_day<F: Fn(Weekday) -> bool>(
-        &self,
-        day_filter: F,
-    ) -> Vec<Vec<f64>> {
+    pub fn group_by_time_of_day<F: Fn(Weekday) -> bool>(&self, day_filter: F) -> Vec<Vec<f64>> {
         let slots_per_day = (SimDuration::DAY.as_micros() / self.step.as_micros()) as usize;
         let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); slots_per_day];
         for (t, v) in self.iter() {
@@ -226,7 +244,10 @@ impl TimeSeries {
     /// Panics if the series is empty.
     pub fn max(&self) -> f64 {
         assert!(!self.values.is_empty(), "max of an empty series");
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum sample.
@@ -311,10 +332,10 @@ mod tests {
             SimDuration::HOUR,
             |t| t.day_index() as f64,
         );
-        let weekday_profile = ts.daily_profile(|d| !d.is_weekend(), |xs| mean(xs));
+        let weekday_profile = ts.daily_profile(|d| !d.is_weekend(), mean);
         // Weekdays are day indices 0..5 → mean 2.0 in every slot.
         assert!(weekday_profile.iter().all(|&v| (v - 2.0).abs() < 1e-12));
-        let weekend_profile = ts.daily_profile(|d| d.is_weekend(), |xs| mean(xs));
+        let weekend_profile = ts.daily_profile(|d| d.is_weekend(), mean);
         assert!(weekend_profile.iter().all(|&v| (v - 5.5).abs() < 1e-12));
     }
 
@@ -329,7 +350,9 @@ mod tests {
         assert_eq!(s.start(), SimTime::from_secs(30));
         assert_eq!(s.values(), &[3.0, 4.0, 5.0]);
         // Fully out-of-range slice is empty.
-        assert!(ts.slice(SimTime::from_secs(500), SimTime::from_secs(600)).is_empty());
+        assert!(ts
+            .slice(SimTime::from_secs(500), SimTime::from_secs(600))
+            .is_empty());
     }
 
     #[test]

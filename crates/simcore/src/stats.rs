@@ -73,9 +73,17 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices differ in length or are empty.
 pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "rmse inputs must have equal length");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "rmse inputs must have equal length"
+    );
     assert!(!predicted.is_empty(), "rmse of empty slices");
-    let se: f64 = predicted.iter().zip(actual).map(|(p, a)| (p - a).powi(2)).sum();
+    let se: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum();
     (se / predicted.len() as f64).sqrt()
 }
 
@@ -87,9 +95,18 @@ pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
 /// # Panics
 /// Panics if the slices differ in length or are empty.
 pub fn mean_error(predicted: &[f64], actual: &[f64]) -> f64 {
-    assert_eq!(predicted.len(), actual.len(), "mean_error inputs must have equal length");
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "mean_error inputs must have equal length"
+    );
     assert!(!predicted.is_empty(), "mean_error of empty slices");
-    predicted.iter().zip(actual).map(|(p, a)| p - a).sum::<f64>() / predicted.len() as f64
+    predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| p - a)
+        .sum::<f64>()
+        / predicted.len() as f64
 }
 
 /// An empirical cumulative distribution function.
@@ -185,7 +202,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Summary {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one observation.

@@ -220,7 +220,10 @@ impl SimDuration {
     /// # Panics
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> SimDuration {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -289,7 +292,10 @@ impl SimDuration {
     /// # Panics
     /// Panics if `k` is negative or not finite.
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        assert!(k.is_finite() && k >= 0.0, "factor must be finite and non-negative");
+        assert!(
+            k.is_finite() && k >= 0.0,
+            "factor must be finite and non-negative"
+        );
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 
@@ -375,7 +381,15 @@ impl fmt::Display for SimTime {
         let h = tod.0 / SimDuration::HOUR.0;
         let m = (tod.0 % SimDuration::HOUR.0) / SimDuration::MINUTE.0;
         let s = (tod.0 % SimDuration::MINUTE.0) / SimDuration::SECOND.0;
-        write!(f, "d{} {} {:02}:{:02}:{:02}", self.day_index(), self.weekday(), h, m, s)
+        write!(
+            f,
+            "d{} {} {:02}:{:02}:{:02}",
+            self.day_index(),
+            self.weekday(),
+            h,
+            m,
+            s
+        )
     }
 }
 
@@ -400,7 +414,11 @@ impl fmt::Display for SimDuration {
 /// ```
 pub fn ticks(start: SimTime, end: SimTime, step: SimDuration) -> Ticks {
     assert!(!step.is_zero(), "step must be non-zero");
-    Ticks { next: start, end, step }
+    Ticks {
+        next: start,
+        end,
+        step,
+    }
 }
 
 /// Iterator returned by [`ticks`].
@@ -455,7 +473,10 @@ mod tests {
     fn time_of_day_and_week() {
         let t = SimTime::ZERO + SimDuration::from_days(9) + SimDuration::from_hours(3);
         assert_eq!(t.time_of_day(), SimDuration::from_hours(3));
-        assert_eq!(t.time_of_week(), SimDuration::from_days(2) + SimDuration::from_hours(3));
+        assert_eq!(
+            t.time_of_week(),
+            SimDuration::from_days(2) + SimDuration::from_hours(3)
+        );
         assert_eq!(t.day_index(), 9);
         assert_eq!(t.week_index(), 1);
     }
@@ -485,24 +506,46 @@ mod tests {
     #[test]
     fn align_down_works() {
         let t = SimTime::from_secs(3721);
-        assert_eq!(t.align_down(SimDuration::from_secs(60)), SimTime::from_secs(3720));
+        assert_eq!(
+            t.align_down(SimDuration::from_secs(60)),
+            SimTime::from_secs(3720)
+        );
         assert_eq!(t.align_down(SimDuration::HOUR), SimTime::from_secs(3600));
     }
 
     #[test]
     fn ticks_iterates_half_open() {
-        let v: Vec<_> =
-            ticks(SimTime::ZERO, SimTime::from_secs(15), SimDuration::from_secs(5)).collect();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(10)]);
+        let v: Vec<_> = ticks(
+            SimTime::ZERO,
+            SimTime::from_secs(15),
+            SimDuration::from_secs(5),
+        )
+        .collect();
+        assert_eq!(
+            v,
+            vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(10)]
+        );
     }
 
     #[test]
     fn duration_helpers() {
         assert_eq!(SimDuration::from_hours(2).as_hours_f64(), 2.0);
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
-        assert_eq!(SimDuration::from_secs(10).mul_f64(1.5), SimDuration::from_secs(15));
-        assert_eq!(SimDuration::from_secs(3).ratio(SimDuration::from_secs(6)), 0.5);
-        assert_eq!(SimDuration::from_secs(10).saturating_sub(SimDuration::from_secs(20)), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(1.5),
+            SimDuration::from_secs(15)
+        );
+        assert_eq!(
+            SimDuration::from_secs(3).ratio(SimDuration::from_secs(6)),
+            0.5
+        );
+        assert_eq!(
+            SimDuration::from_secs(10).saturating_sub(SimDuration::from_secs(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Minimal hand-rolled JSON serialization for telemetry records.
+//!
+//! The workspace deliberately has no JSON crate; events carry a small closed
+//! set of value types, so emitting them by hand keeps `soc-telemetry` free of
+//! external dependencies while still producing strictly valid JSON.
+
+use crate::event::{Event, FieldValue};
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (including the quotes).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a JSON representation of `v`. Non-finite floats become `null`
+/// (JSON has no NaN/Infinity).
+pub fn push_json_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => push_json_string(out, s),
+    }
+}
+
+/// Render one event as a single JSON object (one JSONL line, without the
+/// trailing newline).
+pub fn event_to_json(event: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(
+        out,
+        "{{\"t_us\":{},\"component\":\"{}\",\"severity\":\"{}\",\"name\":",
+        event.time.as_micros(),
+        event.component.as_str(),
+        event.severity.as_str(),
+    );
+    push_json_string(&mut out, event.name);
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, k);
+        out.push(':');
+        push_json_value(&mut out, v);
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, Severity};
+    use simcore::time::SimTime;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{01}e");
+        assert_eq!(out, r#""a\"b\\c\nd\u0001e""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_json_value(&mut out, &FieldValue::F64(f64::NAN));
+        assert_eq!(out, "null");
+        out.clear();
+        push_json_value(&mut out, &FieldValue::F64(2.5));
+        assert_eq!(out, "2.5");
+    }
+
+    #[test]
+    fn event_renders_as_one_json_object() {
+        let e = Event::new(
+            SimTime::from_micros(42),
+            Component::Soa,
+            Severity::Warn,
+            "oc_deny",
+        )
+        .field("server", 7usize)
+        .field("reason", "power_budget")
+        .field("ok", false);
+        assert_eq!(
+            event_to_json(&e),
+            r#"{"t_us":42,"component":"soa","severity":"warn","name":"oc_deny","fields":{"server":7,"reason":"power_budget","ok":false}}"#
+        );
+    }
+}

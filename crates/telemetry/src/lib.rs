@@ -1,0 +1,390 @@
+//! # soc-telemetry — sim-time-aware tracing and metrics for SmartOClock
+//!
+//! Observability layer for the agent stack. Three pieces:
+//!
+//! * **Events** ([`Event`]) — structured records stamped with [`SimTime`]
+//!   (never wall-clock), a [`Component`] id, a [`Severity`], and typed
+//!   key/value fields. Emitted through a cheap cloneable [`Telemetry`] handle.
+//! * **Metrics** ([`MetricsRegistry`]) — counters, gauges, and histograms
+//!   keyed by static names plus label pairs like `("rack", 3)`. Histograms
+//!   reuse [`simcore::hist::Histogram`].
+//! * **Sinks** ([`Sink`]) — pluggable event destinations: [`NullSink`]
+//!   (discard), [`MemorySink`] (tests), [`JsonlSink`] (`--trace-out` files).
+//!
+//! A disabled handle ([`Telemetry::disabled`], also `Default`) is a `None`
+//! internally: every emission site first checks [`Telemetry::is_enabled`], so
+//! the disabled path costs one branch and never allocates. This is what lets
+//! the agent crates carry instrumentation unconditionally.
+//!
+//! ```
+//! use soc_telemetry::{Component, Event, Severity, Telemetry};
+//! use simcore::time::SimTime;
+//!
+//! let (tm, sink) = Telemetry::memory();
+//! tm.emit(
+//!     Event::new(SimTime::from_secs(3), Component::Soa, Severity::Info, "oc_grant")
+//!         .field("server", 4usize),
+//! );
+//! tm.metrics(|m| m.inc_counter("oc_grants", &[("rack", 0usize.into())]));
+//! assert_eq!(sink.named("oc_grant").len(), 1);
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{Component, Event, FieldValue, Severity};
+pub use metrics::{LabelValue, MetricKey, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonlSink, MemorySink, NullSink, Sink};
+
+use simcore::time::SimTime;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    metrics: MetricsRegistry,
+}
+
+/// Cheap cloneable handle to a telemetry pipeline.
+///
+/// Cloning shares the underlying sink and metrics registry. The default
+/// handle is disabled: emissions are dropped after a single branch.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: every emission is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Enabled handle writing events to `sink`.
+    pub fn with_sink(sink: impl Sink + 'static) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                metrics: MetricsRegistry::new(),
+            })),
+        }
+    }
+
+    /// Enabled handle backed by an in-memory sink; returns the sink too so
+    /// tests can assert on captured events.
+    pub fn memory() -> (Telemetry, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let tm = Telemetry::with_sink(SharedSink(sink.clone()));
+        (tm, sink)
+    }
+
+    /// Enabled handle writing JSONL to the file at `path` (truncated).
+    pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Telemetry> {
+        Ok(Telemetry::with_sink(JsonlSink::create(path)?))
+    }
+
+    /// `true` when events actually go somewhere. Emission sites check this
+    /// before building field vectors so the disabled path never allocates.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Send one event to the sink. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.sink.record(&event);
+        }
+    }
+
+    /// Run `f` against the metrics registry. No-op (and `None`) when
+    /// disabled, so hot paths can update metrics without a guard.
+    #[inline]
+    pub fn metrics<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> Option<R> {
+        self.inner.as_ref().map(|inner| f(&inner.metrics))
+    }
+
+    /// Deterministic snapshot of the metrics registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics(|m| m.snapshot()).unwrap_or_default()
+    }
+
+    /// Flush the sink (e.g. the JSONL buffer). No-op when disabled.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// Open a sim-time span. The span emits a single event carrying
+    /// `dur_us` when [`Span::end`] is called with the closing sim time.
+    pub fn span(&self, start: SimTime, component: Component, name: &'static str) -> Span<'_> {
+        Span {
+            tm: self,
+            start,
+            component,
+            name,
+            fields: Vec::new(),
+        }
+    }
+}
+
+/// Adapter so an `Arc<impl Sink>` can be installed as a sink.
+struct SharedSink<S: Sink>(Arc<S>);
+
+impl<S: Sink> Sink for SharedSink<S> {
+    fn record(&self, event: &Event) {
+        self.0.record(event);
+    }
+    fn flush(&self) {
+        self.0.flush();
+    }
+}
+
+/// An in-flight sim-time span.
+///
+/// Simulated time does not advance implicitly, so spans take explicit start
+/// and end instants rather than sampling a clock. Ending emits one
+/// `Severity::Debug` event with the accumulated fields plus `dur_us`.
+#[must_use = "a span only emits when `end` is called"]
+pub struct Span<'a> {
+    tm: &'a Telemetry,
+    start: SimTime,
+    component: Component,
+    name: &'static str,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span<'_> {
+    /// Attach a field to the span's closing event.
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if self.tm.is_enabled() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Close the span at sim time `end`, emitting the event.
+    pub fn end(self, end: SimTime) {
+        if !self.tm.is_enabled() {
+            return;
+        }
+        let mut event = Event {
+            time: self.start,
+            component: self.component,
+            severity: Severity::Debug,
+            name: self.name,
+            fields: self.fields,
+        };
+        event.fields.push((
+            "dur_us",
+            FieldValue::U64(end.saturating_since(self.start).as_micros()),
+        ));
+        self.tm.emit(event);
+    }
+}
+
+/// Per-thread event buffer for the rack runtime's agent threads.
+///
+/// Worker threads push into a local `Vec` (no lock) and flush in batches to
+/// the shared sink, keeping sink lock contention off the per-tick path.
+pub struct LocalSpool {
+    tm: Telemetry,
+    buf: Vec<Event>,
+}
+
+impl LocalSpool {
+    /// Buffer for the given handle.
+    pub fn new(tm: Telemetry) -> LocalSpool {
+        LocalSpool {
+            tm,
+            buf: Vec::new(),
+        }
+    }
+
+    /// `true` when the underlying handle is enabled.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.tm.is_enabled()
+    }
+
+    /// Buffer one event locally. No-op when disabled.
+    #[inline]
+    pub fn push(&mut self, event: Event) {
+        if self.tm.is_enabled() {
+            self.buf.push(event);
+        }
+    }
+
+    /// Drain the local buffer into the sink.
+    pub fn flush(&mut self) {
+        for event in self.buf.drain(..) {
+            self.tm.emit(event);
+        }
+    }
+}
+
+impl Drop for LocalSpool {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// Emit a structured event through a [`Telemetry`] handle.
+///
+/// Expands to a guarded emission: when the handle is disabled nothing is
+/// evaluated beyond the `is_enabled` branch (field expressions included).
+///
+/// ```
+/// use soc_telemetry::{tm_event, Component, Severity, Telemetry};
+/// use simcore::time::SimTime;
+///
+/// let (tm, sink) = Telemetry::memory();
+/// tm_event!(tm, SimTime::ZERO, Component::Goa, Severity::Info, "budget_split",
+///     "racks" => 4usize, "total_w" => 1200.0);
+/// assert_eq!(sink.named("budget_split").len(), 1);
+/// ```
+#[macro_export]
+macro_rules! tm_event {
+    ($tm:expr, $time:expr, $component:expr, $severity:expr, $name:expr
+        $(, $key:literal => $value:expr)* $(,)?) => {
+        if $tm.is_enabled() {
+            $tm.emit($crate::Event {
+                time: $time,
+                component: $component,
+                severity: $severity,
+                name: $name,
+                fields: vec![$(($key, $crate::FieldValue::from($value))),*],
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::time::SimDuration;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tm = Telemetry::disabled();
+        assert!(!tm.is_enabled());
+        tm.emit(Event::new(
+            SimTime::ZERO,
+            Component::Wi,
+            Severity::Info,
+            "noop",
+        ));
+        assert!(tm.metrics(|m| m.counter("x", &[])).is_none());
+        assert!(tm.metrics_snapshot().counters.is_empty());
+        tm.flush();
+    }
+
+    #[test]
+    fn clones_share_sink_and_metrics() {
+        let (tm, sink) = Telemetry::memory();
+        let tm2 = tm.clone();
+        tm2.emit(Event::new(
+            SimTime::ZERO,
+            Component::Soa,
+            Severity::Info,
+            "a",
+        ));
+        tm.metrics(|m| m.inc_counter("c", &[]));
+        tm2.metrics(|m| m.inc_counter("c", &[]));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(tm.metrics(|m| m.counter("c", &[])), Some(2));
+    }
+
+    #[test]
+    fn span_emits_duration() {
+        let (tm, sink) = Telemetry::memory();
+        let span = tm
+            .span(SimTime::from_secs(10), Component::Harness, "tick")
+            .field("step", 7u64);
+        span.end(SimTime::from_secs(10) + SimDuration::from_millis(250));
+        let events = sink.named("tick");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].get("dur_us"), Some(&FieldValue::U64(250_000)));
+        assert_eq!(events[0].get("step"), Some(&FieldValue::U64(7)));
+    }
+
+    #[test]
+    fn spool_batches_until_flush() {
+        let (tm, sink) = Telemetry::memory();
+        let mut spool = LocalSpool::new(tm);
+        spool.push(Event::new(
+            SimTime::ZERO,
+            Component::Rack,
+            Severity::Debug,
+            "e1",
+        ));
+        spool.push(Event::new(
+            SimTime::ZERO,
+            Component::Rack,
+            Severity::Debug,
+            "e2",
+        ));
+        assert_eq!(sink.len(), 0);
+        spool.flush();
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn spool_flushes_on_drop() {
+        let (tm, sink) = Telemetry::memory();
+        {
+            let mut spool = LocalSpool::new(tm);
+            spool.push(Event::new(
+                SimTime::ZERO,
+                Component::Rack,
+                Severity::Debug,
+                "e",
+            ));
+        }
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn macro_skips_field_evaluation_when_disabled() {
+        let tm = Telemetry::disabled();
+        let mut evaluated = false;
+        tm_event!(tm, SimTime::ZERO, Component::Sim, Severity::Info, "x",
+            "v" => { evaluated = true; 1u64 });
+        assert!(!evaluated);
+
+        let (tm, sink) = Telemetry::memory();
+        tm_event!(tm, SimTime::ZERO, Component::Sim, Severity::Info, "x",
+            "v" => { evaluated = true; 1u64 });
+        assert!(evaluated);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_roundtrip_through_handle() {
+        let path =
+            std::env::temp_dir().join(format!("soc-telemetry-handle-{}.jsonl", std::process::id()));
+        {
+            let tm = Telemetry::jsonl(&path).unwrap();
+            tm_event!(tm, SimTime::from_secs(1), Component::Goa, Severity::Info, "budget_split",
+                "racks" => 2usize);
+            tm.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"name\":\"budget_split\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

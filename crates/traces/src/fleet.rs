@@ -125,7 +125,12 @@ impl RackTrace {
     /// Panics if the trace is empty.
     pub fn fraction_below(&self, fraction: f64) -> f64 {
         let threshold = self.limit.get() * fraction;
-        let below = self.power.values().iter().filter(|&&p| p < threshold).count();
+        let below = self
+            .power
+            .values()
+            .iter()
+            .filter(|&&p| p < threshold)
+            .count();
         below as f64 / self.power.len() as f64
     }
 }
@@ -147,7 +152,11 @@ impl FleetTrace {
     pub fn mean_utilization_cdf(&self) -> Ecdf {
         assert!(!self.racks.is_empty(), "empty fleet");
         Ecdf::from_samples(
-            &self.racks.iter().map(RackTrace::mean_utilization).collect::<Vec<_>>(),
+            &self
+                .racks
+                .iter()
+                .map(RackTrace::mean_utilization)
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -226,7 +235,10 @@ mod tests {
         let mut r2 = rack();
         r2.index = 1;
         r2.power = series(vec![100.0, 100.0, 100.0, 100.0]);
-        let fleet = FleetTrace { region: "test".into(), racks: vec![r1, r2] };
+        let fleet = FleetTrace {
+            region: "test".into(),
+            racks: vec![r1, r2],
+        };
         let cdf = fleet.mean_utilization_cdf();
         assert_eq!(cdf.len(), 2);
         // Rack 2 has mean utilization 0.1.

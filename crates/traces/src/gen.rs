@@ -108,10 +108,14 @@ impl FleetConfig {
     fn validate(&self) {
         assert!(self.racks > 0, "need at least one rack");
         assert!(
-            self.servers_per_rack_min >= 1 && self.servers_per_rack_min <= self.servers_per_rack_max,
+            self.servers_per_rack_min >= 1
+                && self.servers_per_rack_min <= self.servers_per_rack_max,
             "invalid servers-per-rack range"
         );
-        assert!(!self.span.is_zero() && !self.step.is_zero(), "span and step must be non-zero");
+        assert!(
+            !self.span.is_zero() && !self.step.is_zero(),
+            "span and step must be non-zero"
+        );
         assert!(
             (0.0..=1.0).contains(&self.oc_core_fraction),
             "oc core fraction must be in [0, 1]"
@@ -175,7 +179,10 @@ impl TraceGenerator {
     /// AMD-generation racks; Intel racks use
     /// [`PowerModel::intel_reference_server`]).
     pub fn new(seed: u64) -> TraceGenerator {
-        TraceGenerator { seed, model: PowerModel::reference_server() }
+        TraceGenerator {
+            seed,
+            model: PowerModel::reference_server(),
+        }
     }
 
     /// Create a generator with a custom power model for AMD-generation
@@ -207,7 +214,10 @@ impl TraceGenerator {
         let racks = (0..config.racks)
             .map(|rack_idx| self.generate_rack_inner(config, rack_idx, &mut rng))
             .collect();
-        FleetTrace { region: config.region.clone(), racks }
+        FleetTrace {
+            region: config.region.clone(),
+            racks,
+        }
     }
 
     /// Generate a single rack (rack `rack_idx` of the fleet `config`
@@ -235,16 +245,16 @@ impl TraceGenerator {
             CpuGeneration::Amd
         };
         let model = self.model_for(generation);
-        let n_servers = rack_rng
-            .gen_range_u64(
-                config.servers_per_rack_min as u64,
-                config.servers_per_rack_max as u64 + 1,
-            ) as usize;
+        let n_servers = rack_rng.gen_range_u64(
+            config.servers_per_rack_min as u64,
+            config.servers_per_rack_max as u64 + 1,
+        ) as usize;
 
         // Pick this rack's outlier (holiday) days up front.
         let days = (config.span.as_days_f64().ceil() as u64).max(1);
-        let outlier_days: Vec<bool> =
-            (0..days).map(|_| rack_rng.gen_bool(config.outlier_day_prob)).collect();
+        let outlier_days: Vec<bool> = (0..days)
+            .map(|_| rack_rng.gen_bool(config.outlier_day_prob))
+            .collect();
 
         let mut server_traces = Vec::with_capacity(n_servers);
         let mut rack_power: Option<Vec<f64>> = None;
@@ -275,8 +285,7 @@ impl TraceGenerator {
             }
         }
 
-        let oversub =
-            rack_rng.gen_range_f64(config.oversubscription.0, config.oversubscription.1);
+        let oversub = rack_rng.gen_range_f64(config.oversubscription.0, config.oversubscription.1);
         let power = TimeSeries::from_values(
             SimTime::ZERO,
             config.step,
@@ -287,11 +296,16 @@ impl TraceGenerator {
         // peak: the baseline (non-overclocked) rack never caps on its own —
         // in the paper capping only appears once overclocking is added
         // (Fig. 6).
-        let nameplate =
-            model.server_power_uniform(1.0, model.plan().turbo()) * n_servers as f64;
+        let nameplate = model.server_power_uniform(1.0, model.plan().turbo()) * n_servers as f64;
         let limit = (nameplate / oversub).max(Watts::new(power.max() * 1.02));
         let _ = peak_sum;
-        RackTrace { index: rack_idx, generation, limit, power, servers: server_traces }
+        RackTrace {
+            index: rack_idx,
+            generation,
+            limit,
+            power,
+            servers: server_traces,
+        }
     }
 
     /// Fill a server with VMs (2-8 cores each) up to 55-95 % of its cores.
@@ -383,8 +397,11 @@ impl TraceGenerator {
 
         for t in simcore::time::ticks(SimTime::ZERO, end, config.step) {
             let day = t.day_index() as usize;
-            let outlier_scale =
-                if outlier_days.get(day).copied().unwrap_or(false) { 0.5 } else { 1.0 };
+            let outlier_scale = if outlier_days.get(day).copied().unwrap_or(false) {
+                0.5
+            } else {
+                1.0
+            };
             let mut busy_cores = 0.0;
             let mut oc_demand = 0.0;
             for slot in vms {
@@ -527,7 +544,10 @@ mod tests {
         let means: Vec<f64> = rack.servers.iter().map(|s| s.power.mean()).collect();
         let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max / min > 1.05, "servers too homogeneous: {min:.1}..{max:.1}");
+        assert!(
+            max / min > 1.05,
+            "servers too homogeneous: {min:.1}..{max:.1}"
+        );
     }
 
     #[test]
@@ -546,7 +566,11 @@ mod tests {
         let mut cfg = FleetConfig::small_test();
         cfg.racks = 12;
         let fleet = TraceGenerator::new(21).generate(&cfg);
-        let intel = fleet.racks.iter().filter(|r| r.generation == CpuGeneration::Intel).count();
+        let intel = fleet
+            .racks
+            .iter()
+            .filter(|r| r.generation == CpuGeneration::Intel)
+            .count();
         assert!(intel > 0, "some racks should be Intel");
         assert!(intel < fleet.racks.len(), "some racks should be AMD");
     }

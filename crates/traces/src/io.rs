@@ -88,8 +88,10 @@ pub fn series_from_csv(csv: &str) -> Result<TimeSeries, ParseTraceError> {
             (Some(t), Some(v), None) => (t, v),
             _ => return Err(ParseTraceError::BadFieldCount { line: line_no }),
         };
-        let t = u64::from_str(t.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
-        let v = f64::from_str(v.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+        let t =
+            u64::from_str(t.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
+        let v =
+            f64::from_str(v.trim()).map_err(|_| ParseTraceError::BadNumber { line: line_no })?;
         rows.push((t, v));
     }
     if rows.is_empty() {

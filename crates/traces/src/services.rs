@@ -35,7 +35,12 @@ impl ServiceProfile {
         wants_overclock: bool,
     ) -> ServiceProfile {
         assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
-        ServiceProfile { name: name.into(), shape, noise_sigma, wants_overclock }
+        ServiceProfile {
+            name: name.into(),
+            shape,
+            noise_sigma,
+            wants_overclock,
+        }
     }
 }
 
@@ -147,7 +152,12 @@ pub fn background_service(i: usize) -> ServiceProfile {
             0.03,
             false,
         ),
-        ServiceProfile::new("ml-training", LoadShape::Constant { level: 0.82 }, 0.02, false),
+        ServiceProfile::new(
+            "ml-training",
+            LoadShape::Constant { level: 0.82 },
+            0.02,
+            false,
+        ),
         ServiceProfile::new(
             "search-index",
             LoadShape::office_hours(0.25, 0.6, 8.0, 20.0),
@@ -166,7 +176,12 @@ pub fn background_service(i: usize) -> ServiceProfile {
             0.05,
             false,
         ),
-        ServiceProfile::new("kv-store", LoadShape::office_hours(0.3, 0.55, 7.0, 22.0), 0.04, false),
+        ServiceProfile::new(
+            "kv-store",
+            LoadShape::office_hours(0.3, 0.55, 7.0, 22.0),
+            0.04,
+            false,
+        ),
         ServiceProfile::new(
             "report-gen",
             LoadShape::HourlySpike {
@@ -180,7 +195,12 @@ pub fn background_service(i: usize) -> ServiceProfile {
             0.05,
             false,
         ),
-        ServiceProfile::new("ci-runners", LoadShape::office_hours(0.1, 0.65, 8.0, 19.0), 0.09, false),
+        ServiceProfile::new(
+            "ci-runners",
+            LoadShape::office_hours(0.1, 0.65, 8.0, 19.0),
+            0.09,
+            false,
+        ),
         ServiceProfile::new("low-idle", LoadShape::Constant { level: 0.12 }, 0.03, false),
         ServiceProfile::new(
             "apac-frontend",

@@ -64,7 +64,13 @@ impl LoadShape {
     /// Base utilization at instant `t`, in `[0, 1]`.
     pub fn utilization(&self, t: SimTime) -> f64 {
         match self {
-            LoadShape::Diurnal { base, peak, peak_start_hour, peak_end_hour, weekend_scale } => {
+            LoadShape::Diurnal {
+                base,
+                peak,
+                peak_start_hour,
+                peak_end_hour,
+                weekend_scale,
+            } => {
                 let h = t.time_of_day().as_hours_f64();
                 let ramp = 0.5; // half-hour ramps
                 let level = plateau(h, *peak_start_hour, *peak_end_hour, ramp);
@@ -79,13 +85,12 @@ impl LoadShape {
                 at_bottom,
                 weekend_scale,
             } => {
-                let minute_in_hour =
-                    (t.time_of_day().as_micros() % SimDuration::HOUR.as_micros()) as f64
-                        / SimDuration::MINUTE.as_micros() as f64;
+                let minute_in_hour = (t.time_of_day().as_micros() % SimDuration::HOUR.as_micros())
+                    as f64
+                    / SimDuration::MINUTE.as_micros() as f64;
                 let in_top = *at_top && minute_in_hour < *spike_minutes;
-                let in_bottom = *at_bottom
-                    && minute_in_hour >= 30.0
-                    && minute_in_hour < 30.0 + *spike_minutes;
+                let in_bottom =
+                    *at_bottom && minute_in_hour >= 30.0 && minute_in_hour < 30.0 + *spike_minutes;
                 let u = if in_top || in_bottom { *peak } else { *base };
                 scale_weekend(u, t, *weekend_scale)
             }
@@ -128,7 +133,11 @@ impl LoadShape {
 /// ramps of width `ramp` hours on each side. Handles `start > end` (window
 /// wrapping midnight).
 fn plateau(h: f64, start: f64, end: f64, ramp: f64) -> f64 {
-    let inside = if start <= end { h >= start && h <= end } else { h >= start || h <= end };
+    let inside = if start <= end {
+        h >= start && h <= end
+    } else {
+        h >= start || h <= end
+    };
     if inside {
         return 1.0;
     }
@@ -142,7 +151,11 @@ fn plateau(h: f64, start: f64, end: f64, ramp: f64) -> f64 {
 }
 
 fn scale_weekend(u: f64, t: SimTime, weekend_scale: f64) -> f64 {
-    let u = if t.weekday().is_weekend() { u * weekend_scale } else { u };
+    let u = if t.weekday().is_weekend() {
+        u * weekend_scale
+    } else {
+        u
+    };
     u.clamp(0.0, 1.0)
 }
 
@@ -151,9 +164,7 @@ mod tests {
     use super::*;
 
     fn at(day: u64, hour: f64) -> SimTime {
-        SimTime::ZERO
-            + SimDuration::from_days(day)
-            + SimDuration::from_secs_f64(hour * 3600.0)
+        SimTime::ZERO + SimDuration::from_days(day) + SimDuration::from_secs_f64(hour * 3600.0)
     }
 
     #[test]
@@ -218,8 +229,14 @@ mod tests {
 
     #[test]
     fn constant_is_flat_and_clamped() {
-        assert_eq!(LoadShape::Constant { level: 0.5 }.utilization(at(1, 1.0)), 0.5);
-        assert_eq!(LoadShape::Constant { level: 1.5 }.utilization(at(1, 1.0)), 1.0);
+        assert_eq!(
+            LoadShape::Constant { level: 0.5 }.utilization(at(1, 1.0)),
+            0.5
+        );
+        assert_eq!(
+            LoadShape::Constant { level: 1.5 }.utilization(at(1, 1.0)),
+            1.0
+        );
     }
 
     #[test]

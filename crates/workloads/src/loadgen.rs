@@ -32,8 +32,13 @@ impl RateSchedule {
     /// # Panics
     /// Panics if `rate` is negative or not finite.
     pub fn constant(rate: f64) -> RateSchedule {
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
-        RateSchedule { segments: vec![(SimTime::ZERO, rate)] }
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and non-negative"
+        );
+        RateSchedule {
+            segments: vec![(SimTime::ZERO, rate)],
+        }
     }
 
     /// Append a segment starting at `start` with the given rate.
@@ -42,9 +47,19 @@ impl RateSchedule {
     /// Panics if `start` is not after the previous segment's start, or the
     /// rate is invalid.
     pub fn with_segment(mut self, start: SimTime, rate: f64) -> RateSchedule {
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
-        let last = self.segments.last().expect("schedule always has a segment").0;
-        assert!(start > last, "segments must be appended in increasing time order");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and non-negative"
+        );
+        let last = self
+            .segments
+            .last()
+            .expect("schedule always has a segment")
+            .0;
+        assert!(
+            start > last,
+            "segments must be appended in increasing time order"
+        );
         self.segments.push((start, rate));
         self
     }
@@ -61,7 +76,10 @@ impl RateSchedule {
         burst_len: SimDuration,
         total: SimDuration,
     ) -> RateSchedule {
-        assert!(!period.is_zero() && !burst_len.is_zero(), "period and burst must be non-zero");
+        assert!(
+            !period.is_zero() && !burst_len.is_zero(),
+            "period and burst must be non-zero"
+        );
         assert!(burst_len < period, "burst must be shorter than the period");
         let mut sched = RateSchedule::constant(peak);
         let mut t = SimTime::ZERO;
@@ -136,7 +154,10 @@ mod tests {
         assert_eq!(s.rate_at(SimTime::from_secs(9)), 1.0);
         assert_eq!(s.rate_at(SimTime::from_secs(10)), 2.0);
         assert_eq!(s.rate_at(SimTime::from_secs(25)), 0.5);
-        assert_eq!(s.next_change_after(SimTime::from_secs(10)), Some(SimTime::from_secs(20)));
+        assert_eq!(
+            s.next_change_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(20))
+        );
     }
 
     #[test]

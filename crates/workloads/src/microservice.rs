@@ -174,7 +174,12 @@ impl MicroserviceSim {
         assert!(initial_vms > 0, "need at least one VM");
         let (mu, sigma) = spec.lognormal_params();
         let vms = (0..initial_vms)
-            .map(|_| Vm { frequency: turbo, busy: 0, queue: VecDeque::new(), active: true })
+            .map(|_| Vm {
+                frequency: turbo,
+                busy: 0,
+                queue: VecDeque::new(),
+                active: true,
+            })
             .collect();
         let mut sim = MicroserviceSim {
             spec,
@@ -332,7 +337,11 @@ impl MicroserviceSim {
         let window = until.since(self.window_start);
         let active_cores = (self.active_vms() * self.spec.cores_per_vm) as f64;
         let denom = active_cores * window.as_secs_f64();
-        let cpu = if denom > 0.0 { (self.busy_core_seconds / denom).min(1.0) } else { 0.0 };
+        let cpu = if denom > 0.0 {
+            (self.busy_core_seconds / denom).min(1.0)
+        } else {
+            0.0
+        };
         let slo = self.spec.slo_ms();
         let (mean, p99, miss) = if self.latencies_ms.is_empty() {
             (f64::NAN, f64::NAN, 0.0)
@@ -374,7 +383,10 @@ impl MicroserviceSim {
         let work = self
             .rng
             .sample_lognormal(self.lognormal_mu, self.lognormal_sigma);
-        let req = Request { arrival: self.now, work };
+        let req = Request {
+            arrival: self.now,
+            work,
+        };
         self.route(req);
         if let Some(t) = self.next_arrival_time(self.now) {
             self.queue.push(t, Event::Arrival);
@@ -406,7 +418,8 @@ impl MicroserviceSim {
         let freq_ratio = self.vms[vm].frequency.ratio(self.turbo);
         let duration = SimDuration::from_secs_f64(req.work / freq_ratio.max(1e-9));
         self.vms[vm].busy += 1;
-        self.queue.push(self.now + duration, Event::Departure { vm, request: req });
+        self.queue
+            .push(self.now + duration, Event::Departure { vm, request: req });
     }
 
     fn handle_departure(&mut self, vm: usize, request: Request) {
@@ -593,7 +606,10 @@ mod tests {
         assert_eq!(sim.total_arrivals(), w1.arrivals + w2.arrivals);
         assert_eq!(sim.total_completions(), w1.completions + w2.completions);
         // Conservation: everything that arrived is either done or in system.
-        assert_eq!(sim.total_arrivals(), sim.total_completions() + sim.in_system());
+        assert_eq!(
+            sim.total_arrivals(),
+            sim.total_completions() + sim.in_system()
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl MlTrain {
     /// # Panics
     /// Panics if `utilization` is outside `(0, 1]` or the frequency is zero.
     pub fn new(reference_frequency: MegaHertz, utilization: f64) -> MlTrain {
-        assert!(reference_frequency.get() > 0, "reference frequency must be positive");
+        assert!(
+            reference_frequency.get() > 0,
+            "reference frequency must be positive"
+        );
         assert!(
             utilization > 0.0 && utilization <= 1.0,
             "utilization must be in (0, 1]"

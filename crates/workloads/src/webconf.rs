@@ -48,7 +48,11 @@ impl WebConfDeployment {
     pub fn new(turbo: MegaHertz, goal: f64) -> WebConfDeployment {
         assert!(turbo.get() > 0, "turbo frequency must be positive");
         assert!(goal > 0.0 && goal <= 1.0, "goal must be in (0, 1]");
-        WebConfDeployment { turbo, goal, vms: Vec::new() }
+        WebConfDeployment {
+            turbo,
+            goal,
+            vms: Vec::new(),
+        }
     }
 
     /// Add a VM with the given load, starting at turbo.
@@ -60,7 +64,10 @@ impl WebConfDeployment {
             (0.0..=1.0).contains(&load_at_turbo),
             "load must be in [0, 1], got {load_at_turbo}"
         );
-        self.vms.push(WebConfVm { load_at_turbo, frequency: self.turbo });
+        self.vms.push(WebConfVm {
+            load_at_turbo,
+            frequency: self.turbo,
+        });
         self.vms.len() - 1
     }
 
@@ -95,7 +102,10 @@ impl WebConfDeployment {
     /// Panics if the deployment has no VMs.
     pub fn deployment_utilization(&self) -> f64 {
         assert!(!self.vms.is_empty(), "deployment has no VMs");
-        (0..self.vms.len()).map(|i| self.vm_utilization(i)).sum::<f64>() / self.vms.len() as f64
+        (0..self.vms.len())
+            .map(|i| self.vm_utilization(i))
+            .sum::<f64>()
+            / self.vms.len() as f64
     }
 
     /// Whether the deployment meets its utilization goal.
@@ -106,7 +116,9 @@ impl WebConfDeployment {
     /// VM indices a *VM-local* policy (threshold on per-VM utilization)
     /// would overclock — used to demonstrate the Fig. 4 inefficiency.
     pub fn vms_above(&self, threshold: f64) -> Vec<usize> {
-        (0..self.vms.len()).filter(|&i| self.vm_utilization(i) > threshold).collect()
+        (0..self.vms.len())
+            .filter(|&i| self.vm_utilization(i) > threshold)
+            .collect()
     }
 }
 

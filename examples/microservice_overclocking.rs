@@ -53,7 +53,10 @@ fn main() {
     soa.set_power_template(PowerTemplate::build(&history, TemplateKind::DailyMed));
 
     println!("SLO = {slo:.0} ms; spike from t=180s to t=360s\n");
-    println!("{:>4}  {:>9} {:>8} {:>9} {:>11}", "t(s)", "P99(ms)", "util", "freq", "overclock?");
+    println!(
+        "{:>4}  {:>9} {:>8} {:>9} {:>11}",
+        "t(s)", "P99(ms)", "util", "freq", "overclock?"
+    );
     let mut grant = None;
     for window in 1..=36u64 {
         let now = SimTime::from_secs(window * 15);
@@ -66,7 +69,11 @@ fn main() {
         let decision = wi.decide(now);
         match (decision.overclock, grant) {
             (true, None) => {
-                let req = OverclockRequest::metrics_based("compose-post", spec.cores_per_vm, plan.max_overclock());
+                let req = OverclockRequest::metrics_based(
+                    "compose-post",
+                    spec.cores_per_vm,
+                    plan.max_overclock(),
+                );
                 match soa.request_overclock(now, req) {
                     Ok(id) => grant = Some(id),
                     Err(reason) => println!("      request rejected: {reason}"),
@@ -80,14 +87,18 @@ fn main() {
             _ => {}
         }
         // Feedback loop: measured power tracks utilization and frequency.
-        let freq = grant.and_then(|id| soa.grant(id)).map_or(plan.turbo(), |g| g.current);
+        let freq = grant
+            .and_then(|id| soa.grant(id))
+            .map_or(plan.turbo(), |g| g.current);
         let measured = model.server_power_uniform(stats.cpu_utilization, freq);
         for event in soa.control_tick(now, measured, None) {
             if let SoaEvent::SetFrequency { frequency, .. } = event {
                 sim.set_all_frequencies(frequency);
             }
         }
-        let freq = grant.and_then(|id| soa.grant(id)).map_or(plan.turbo(), |g| g.current);
+        let freq = grant
+            .and_then(|id| soa.grant(id))
+            .map_or(plan.turbo(), |g| g.current);
         println!(
             "{:>4}  {:>9.1} {:>8.2} {:>9} {:>11}",
             now.as_secs_f64(),

@@ -40,7 +40,10 @@ fn main() {
     let grant = soa
         .request_overclock(SimTime::ZERO, request)
         .expect("admission control accepts: 250W predicted + OC delta < 320W budget");
-    println!("granted {grant}; weekly overclocking budget: {}", soa.lifetime_remaining());
+    println!(
+        "granted {grant}; weekly overclocking budget: {}",
+        soa.lifetime_remaining()
+    );
 
     // Drive the control loop. The measured draw tracks the commanded
     // frequency loosely; we script a few phases to show the behaviour.
@@ -49,20 +52,42 @@ fn main() {
         (2, 270.0, None, "still ramping"),
         (3, 280.0, None, "still ramping"),
         (4, 300.0, None, "hold band reached"),
-        (5, 318.0, None, "constrained below target: exploration begins"),
-        (6, 330.0, Some(RackSignal::Warning), "rack warning: retreat + backoff"),
+        (
+            5,
+            318.0,
+            None,
+            "constrained below target: exploration begins",
+        ),
+        (
+            6,
+            330.0,
+            Some(RackSignal::Warning),
+            "rack warning: retreat + backoff",
+        ),
         (7, 300.0, None, "backed off"),
-        (8, 335.0, Some(RackSignal::Capping), "capping event: reset to assigned budget"),
+        (
+            8,
+            335.0,
+            Some(RackSignal::Capping),
+            "capping event: reset to assigned budget",
+        ),
     ];
     for &(sec, watts, signal, note) in phases {
         let now = SimTime::from_secs(sec);
         let events = soa.control_tick(now, Watts::new(watts), signal);
-        let freq = soa.grant(grant).map(|g| g.current.to_string()).unwrap_or_else(|| "-".into());
+        let freq = soa
+            .grant(grant)
+            .map(|g| g.current.to_string())
+            .unwrap_or_else(|| "-".into());
         println!(
             "t={sec}s draw={watts:.0}W budget={} freq={} | {note}{}",
             soa.effective_budget(),
             freq,
-            if events.is_empty() { String::new() } else { format!(" | events: {events:?}") },
+            if events.is_empty() {
+                String::new()
+            } else {
+                format!(" | events: {events:?}")
+            },
         );
     }
 

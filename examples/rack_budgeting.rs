@@ -33,7 +33,11 @@ fn main() {
     let goa = GlobalOverclockAgent::new(rack.limit, PolicyKind::SmartOClock);
     let even = rack.limit / profiles.len() as f64;
 
-    println!("rack limit: {} across {} servers (even share {even})\n", rack.limit, profiles.len());
+    println!(
+        "rack limit: {} across {} servers (even share {even})\n",
+        rack.limit,
+        profiles.len()
+    );
     for hour in [3u64, 11, 20] {
         // Predict for the Tuesday after the training week.
         let t = SimTime::ZERO + SimDuration::from_days(8) + SimDuration::from_hours(hour);
@@ -50,7 +54,10 @@ fn main() {
             );
         }
         let total: f64 = budgets.iter().map(|b| b.get()).sum();
-        assert!((total - rack.limit.get()).abs() < 1e-6, "split must conserve the limit");
+        assert!(
+            (total - rack.limit.get()).abs() < 1e-6,
+            "split must conserve the limit"
+        );
         println!("  (sum = {:.0}W = rack limit)\n", total);
     }
     println!(

@@ -45,8 +45,11 @@ fn main() {
     // hour of budget for the scheduled window.
     let pre_peak = SimTime::ZERO + SimDuration::from_hours(8) + SimDuration::from_minutes(55);
     println!("budget before reservation: {}", soa.lifetime_remaining());
-    let request = OverclockRequest::scheduled("frontend", 16, plan.max_overclock(), SimDuration::HOUR);
-    let grant = soa.request_overclock(pre_peak, request).expect("reservation fits the budget");
+    let request =
+        OverclockRequest::scheduled("frontend", 16, plan.max_overclock(), SimDuration::HOUR);
+    let grant = soa
+        .request_overclock(pre_peak, request)
+        .expect("reservation fits the budget");
     println!(
         "reserved 1h at {} for grant {grant}; unreserved budget now {}",
         plan.max_overclock(),
@@ -65,7 +68,11 @@ fn main() {
             m,
             decision.overclock,
             soa.grants().count(),
-            if events.is_empty() { String::new() } else { format!(" events={events:?}") },
+            if events.is_empty() {
+                String::new()
+            } else {
+                format!(" events={events:?}")
+            },
         );
     }
 
@@ -76,7 +83,11 @@ fn main() {
     for _day in 0..7 {
         for slot in 0..288 {
             let hour = slot as f64 / 12.0;
-            let base = if (9.0..11.4).contains(&hour) { 105.0 } else { 55.0 };
+            let base = if (9.0..11.4).contains(&hour) {
+                105.0
+            } else {
+                55.0
+            };
             latency_history.push(base + rng.sample_normal(0.0, 3.0));
         }
     }

@@ -43,19 +43,35 @@ fn main() {
     for (name, i) in [("A1", a1), ("A2", a2), ("B1", b1), ("B2", b2)] {
         println!("VM {name}: utilization {:.2}", dep.vm_utilization(i));
     }
-    println!("deployment utilization: {:.2} (goal 0.50)", dep.deployment_utilization());
-    println!("VM-local policy (>70% util) would overclock VMs {:?}", dep.vms_above(0.7));
+    println!(
+        "deployment utilization: {:.2} (goal 0.50)",
+        dep.deployment_utilization()
+    );
+    println!(
+        "VM-local policy (>70% util) would overclock VMs {:?}",
+        dep.vms_above(0.7)
+    );
     wi.report(report(&dep));
     let d = wi.decide(SimTime::ZERO);
-    println!("deployment-aware decision: overclock = {} (goal already met)\n", d.overclock);
+    println!(
+        "deployment-aware decision: overclock = {} (goal already met)\n",
+        d.overclock
+    );
     assert!(!d.overclock);
 
     println!("--- zone A fails: its load lands on zone B ---");
     let mut failed = WebConfDeployment::new(plan.turbo(), 0.5);
     let b1 = failed.add_vm(0.80 + 0.10); // absorbs A1
     let b2 = failed.add_vm(0.65 + 0.25); // absorbs A2
-    println!("VM B1: {:.2}, VM B2: {:.2}", failed.vm_utilization(b1), failed.vm_utilization(b2));
-    println!("deployment utilization: {:.2}", failed.deployment_utilization());
+    println!(
+        "VM B1: {:.2}, VM B2: {:.2}",
+        failed.vm_utilization(b1),
+        failed.vm_utilization(b2)
+    );
+    println!(
+        "deployment utilization: {:.2}",
+        failed.deployment_utilization()
+    );
     wi.report(report(&failed));
     let d = wi.decide(SimTime::ZERO);
     println!("deployment-aware decision: overclock = {}", d.overclock);

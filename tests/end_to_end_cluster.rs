@@ -3,6 +3,7 @@
 //! agent layers together.
 
 use soc_cluster::harness::{ClusterConfig, ClusterSim, SystemKind};
+use soc_telemetry::{FieldValue, Telemetry};
 use soc_workloads::socialnet::LoadLevel;
 
 fn run(system: SystemKind, seed: u64) -> soc_cluster::harness::ClusterResult {
@@ -17,7 +18,10 @@ fn smartoclock_beats_baseline_tail_at_high_load() {
     let smart = run(SystemKind::SmartOClock, 1);
     let b = base.p99_by_load(LoadLevel::High);
     let s = smart.p99_by_load(LoadLevel::High);
-    assert!(s < b, "SmartOClock P99 {s:.1} must beat Baseline {b:.1} at high load");
+    assert!(
+        s < b,
+        "SmartOClock P99 {s:.1} must beat Baseline {b:.1} at high load"
+    );
 }
 
 #[test]
@@ -38,7 +42,10 @@ fn smartoclock_reduces_missed_slos_vs_baseline() {
     let smart = run(SystemKind::SmartOClock, 3);
     let b: u64 = base.instances.iter().map(|i| i.missed).sum();
     let s: u64 = smart.instances.iter().map(|i| i.missed).sum();
-    assert!(s <= b, "SmartOClock misses {s} must not exceed Baseline {b}");
+    assert!(
+        s <= b,
+        "SmartOClock misses {s} must not exceed Baseline {b}"
+    );
 }
 
 #[test]
@@ -97,4 +104,69 @@ fn constrained_rack_produces_capping_for_naive() {
     );
     // MLTrain throughput suffers at least as much under naive overclocking.
     assert!(smart.mltrain_relative_throughput >= naive.mltrain_relative_throughput - 1e-9);
+}
+
+#[test]
+fn power_capped_run_emits_revoke_telemetry() {
+    // A tightly constrained rack under NaiveOClock reliably hits the limit,
+    // so the harness must record the capping and the grants it revokes.
+    let mut cfg = ClusterConfig::small_test(SystemKind::NaiveOClock);
+    cfg.rack_limit_scale = 0.78;
+    cfg.seed = 10;
+    let (telemetry, sink) = Telemetry::memory();
+    let result = ClusterSim::with_telemetry(cfg, telemetry.clone()).run();
+    assert!(result.capping_events > 0, "the constrained rack must cap");
+
+    let events = sink.events();
+    assert!(
+        !sink.named("rack_capping").is_empty(),
+        "capping must be traced"
+    );
+    let revokes = sink.named("revoke");
+    assert!(
+        !revokes.is_empty(),
+        "capping a granted server must emit a revoke"
+    );
+    assert!(
+        revokes
+            .iter()
+            .all(|e| { matches!(e.get("reason"), Some(FieldValue::Str(s)) if s == "cap") }),
+        "every revoke in this scenario is capping-induced"
+    );
+    // Sim-time stamps are monotone within the single-threaded harness run
+    // (spans are stamped with their *start* time, so they are exempt).
+    let stamped: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("dur_us").is_none())
+        .collect();
+    assert!(stamped.windows(2).all(|w| w[0].time <= w[1].time));
+
+    // The agent stack reported through the same handle: sOA admissions and
+    // WI observations land next to the harness events.
+    assert!(!sink.named("oc_grant").is_empty(), "sOAs must trace grants");
+    assert!(
+        !sink.named("wi_observe").is_empty(),
+        "WI agents must trace observations"
+    );
+    assert!(!sink.named("run_start").is_empty() && !sink.named("run_end").is_empty());
+
+    // Counters aggregate the same story.
+    let snapshot = telemetry.metrics_snapshot();
+    let revoke_count: u64 = snapshot
+        .counters
+        .iter()
+        .filter(|(k, _)| k.name == "harness_revokes")
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(revoke_count, revokes.len() as u64);
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
+    cfg.seed = 11;
+    let plain = ClusterSim::new(cfg.clone()).run();
+    let (telemetry, _sink) = Telemetry::memory();
+    let traced = ClusterSim::with_telemetry(cfg, telemetry).run();
+    assert_eq!(plain, traced, "telemetry must be a pure observer");
 }

@@ -1,9 +1,9 @@
 //! Cross-crate integration: Table I ordering invariants over the
 //! trace-driven large-scale simulation.
 
+use smartoclock::policy::PolicyKind;
 use soc_cluster::largescale::{simulate_policy, LargeScaleConfig};
 use soc_cluster::largescale_metrics::PolicyMetrics;
-use smartoclock::policy::PolicyKind;
 
 fn metrics(policy: PolicyKind, seed: u64) -> PolicyMetrics {
     let mut cfg = LargeScaleConfig::small_test();
@@ -42,9 +42,16 @@ fn success_ordering_exploration_helps() {
 fn naive_has_perfect_success_but_worst_capping() {
     let naive = metrics(PolicyKind::NaiveOClock, 42);
     assert!((naive.success_rate - 1.0).abs() < 1e-12);
-    for policy in [PolicyKind::Central, PolicyKind::NoFeedback, PolicyKind::SmartOClock] {
+    for policy in [
+        PolicyKind::Central,
+        PolicyKind::NoFeedback,
+        PolicyKind::SmartOClock,
+    ] {
         let other = metrics(policy, 42);
-        assert!(other.capping_events <= naive.capping_events, "{policy} vs NaiveOClock");
+        assert!(
+            other.capping_events <= naive.capping_events,
+            "{policy} vs NaiveOClock"
+        );
     }
 }
 

@@ -42,7 +42,10 @@ fn dailymed_outperforms_flat_templates_on_generated_traces() {
     let rack = &fleet.racks[0];
     let daily = walk_forward(&rack.power, TemplateKind::DailyMed).rmse;
     let flat_max = walk_forward(&rack.power, TemplateKind::FlatMax).rmse;
-    assert!(daily < flat_max, "DailyMed {daily} must beat FlatMax {flat_max}");
+    assert!(
+        daily < flat_max,
+        "DailyMed {daily} must beat FlatMax {flat_max}"
+    );
 }
 
 #[test]

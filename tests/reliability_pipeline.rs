@@ -32,8 +32,12 @@ fn budget_enforcement_bounds_actual_wear() {
     let mut soa = soa_with_budget(1.0);
     let wear = WearModel::default();
     let plan = PowerModel::reference_server().plan();
-    let mut grant =
-        soa.request_overclock(SimTime::ZERO, OverclockRequest::metrics_based("vm", 8, plan.max_overclock())).ok();
+    let mut grant = soa
+        .request_overclock(
+            SimTime::ZERO,
+            OverclockRequest::metrics_based("vm", 8, plan.max_overclock()),
+        )
+        .ok();
 
     let tick = SimDuration::from_minutes(10);
     let mut overclocked = SimDuration::ZERO;
@@ -43,7 +47,13 @@ fn budget_enforcement_bounds_actual_wear() {
         t += tick;
         let events = soa.control_tick(t, Watts::new(300.0), None);
         let ended = events.iter().any(|e| {
-            matches!(e, SoaEvent::GrantEnded { reason: GrantEndReason::LifetimeBudgetExhausted, .. })
+            matches!(
+                e,
+                SoaEvent::GrantEnded {
+                    reason: GrantEndReason::LifetimeBudgetExhausted,
+                    ..
+                }
+            )
         });
         if grant.is_some() {
             if soa.grants().next().is_some() {
@@ -62,7 +72,10 @@ fn budget_enforcement_bounds_actual_wear() {
     // The extra ageing from that bounded overclocking stays bounded too.
     let oc_accel = wear.voltage_acceleration(plan.max_overclock());
     let worst_extra_rate = fraction * (oc_accel - 1.0) * 2.22; // β·u²≤β
-    assert!(worst_extra_rate < 2.0, "bounded OC time implies bounded wear impact");
+    assert!(
+        worst_extra_rate < 2.0,
+        "bounded OC time implies bounded wear impact"
+    );
 }
 
 #[test]
@@ -72,21 +85,31 @@ fn restricted_budgets_exhaust_proportionally_faster() {
     for scale in [0.04, 0.02] {
         let mut soa = soa_with_budget(scale);
         let _ = soa
-            .request_overclock(SimTime::ZERO, OverclockRequest::metrics_based("vm", 4, plan.max_overclock()))
+            .request_overclock(
+                SimTime::ZERO,
+                OverclockRequest::metrics_based("vm", 4, plan.max_overclock()),
+            )
             .unwrap();
         let mut t = SimTime::ZERO;
         let mut end_at = None;
         for _ in 0..2000 {
             t += SimDuration::from_minutes(5);
             let events = soa.control_tick(t, Watts::new(300.0), None);
-            if events.iter().any(|e| matches!(e, SoaEvent::GrantEnded { .. })) {
+            if events
+                .iter()
+                .any(|e| matches!(e, SoaEvent::GrantEnded { .. }))
+            {
                 end_at = Some(t);
                 break;
             }
         }
         ends.push(end_at.expect("budget must exhaust"));
     }
-    assert!(ends[0] > ends[1], "the larger budget must last longer: {:?}", ends);
+    assert!(
+        ends[0] > ends[1],
+        "the larger budget must last longer: {:?}",
+        ends
+    );
 }
 
 #[test]
@@ -96,7 +119,11 @@ fn fig7_policies_and_budget_agree_on_affordable_fraction() {
     let wear = WearModel::default();
     let util = fig7_utilization(5);
     let plan = wear.curve().plan();
-    let aware = cumulative_ageing(&wear, &util, AgeingPolicy::OverclockAware { threshold: 0.5 });
+    let aware = cumulative_ageing(
+        &wear,
+        &util,
+        AgeingPolicy::OverclockAware { threshold: 0.5 },
+    );
     let expected = cumulative_ageing(&wear, &util, AgeingPolicy::Expected);
     assert!(*aware.last().unwrap() <= *expected.last().unwrap() + 1e-9);
 

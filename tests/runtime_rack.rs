@@ -31,15 +31,22 @@ fn threaded_rack_follows_goa_budgets_from_traces() {
         .collect();
     let goa = GlobalOverclockAgent::new(rack.limit, PolicyKind::SmartOClock);
 
-    let runtime =
-        RackRuntime::start(rack.servers.len(), model, SoaConfig::reference(), PolicyKind::SmartOClock);
+    let runtime = RackRuntime::start(
+        rack.servers.len(),
+        model,
+        SoaConfig::reference(),
+        PolicyKind::SmartOClock,
+    );
 
     // Push budgets and templates, as the weekly exchange would.
     let now = SimTime::ZERO + SimDuration::WEEK;
     let budgets = goa.budgets_at(now, &profiles);
     for (i, (budget, server)) in budgets.iter().zip(&rack.servers).enumerate() {
         runtime.set_budget(i, *budget);
-        runtime.set_template(i, PowerTemplate::build(&server.power, TemplateKind::DailyMed));
+        runtime.set_template(
+            i,
+            PowerTemplate::build(&server.power, TemplateKind::DailyMed),
+        );
     }
 
     // Drive one hour of 30-second ticks with rack-level signals.
@@ -52,11 +59,8 @@ fn threaded_rack_follows_goa_budgets_from_traces() {
         if k == 2 {
             for (i, server) in rack.servers.iter().enumerate() {
                 let cores = server.oc_demand_cores.max().max(2.0) as usize;
-                let req = OverclockRequest::metrics_based(
-                    format!("srv{i}-vm"),
-                    cores.min(8),
-                    oc_freq,
-                );
+                let req =
+                    OverclockRequest::metrics_based(format!("srv{i}-vm"), cores.min(8), oc_freq);
                 match runtime.request(i, t, req) {
                     Ok(_) => granted += 1,
                     Err(_) => rejected += 1,
@@ -77,7 +81,10 @@ fn threaded_rack_follows_goa_budgets_from_traces() {
     let events = runtime.drain_events();
     let stats = runtime.stats();
     assert_eq!(granted + rejected, rack.servers.len());
-    assert!(granted > 0, "budgets from real traces should admit some requests");
+    assert!(
+        granted > 0,
+        "budgets from real traces should admit some requests"
+    );
     assert!(
         !events.is_empty(),
         "the feedback loop should have produced frequency commands"
@@ -105,8 +112,14 @@ fn runtime_survives_goa_silence() {
     for k in 0..10u64 {
         let t = SimTime::ZERO + SimDuration::from_minutes(10 * k);
         let req = OverclockRequest::metrics_based("vm", 4, model.plan().max_overclock());
-        let grant = runtime.request(k as usize % 2, t, req).expect("stale budgets keep working");
-        runtime.tick_all(t, &[Watts::new(250.0), Watts::new(250.0)], Some(RackSignal::Normal));
+        let grant = runtime
+            .request(k as usize % 2, t, req)
+            .expect("stale budgets keep working");
+        runtime.tick_all(
+            t,
+            &[Watts::new(250.0), Watts::new(250.0)],
+            Some(RackSignal::Normal),
+        );
         runtime.end(k as usize % 2, t + SimDuration::from_minutes(5), grant);
     }
     runtime.shutdown();
