@@ -1,0 +1,68 @@
+//! Golden-file and order-invariance tests for the analyzer.
+//!
+//! `fixtures/small_trace.jsonl` is a hand-written trace with one full causal
+//! chain (warning -> capping -> cap_set -> revoke -> SLO miss), all three
+//! SLO-miss attributions, and every metric kind. The committed report
+//! `fixtures/small_trace.report.txt` pins the exact analyzer output; any
+//! intentional format change must regenerate it
+//! (`soc-analyze report fixtures/small_trace.jsonl` with the title
+//! `small_trace`).
+
+use proptest::prelude::*;
+use soc_analyze::{full_report, AttributionCounts, Trace};
+
+const FIXTURE: &str = include_str!("fixtures/small_trace.jsonl");
+const GOLDEN: &str = include_str!("fixtures/small_trace.report.txt");
+
+#[test]
+fn full_report_matches_golden_file() {
+    let trace = Trace::parse(FIXTURE).expect("fixture parses");
+    let report = full_report(&trace, "small_trace");
+    assert_eq!(
+        report, GOLDEN,
+        "report drifted from the golden fixture; if the change is \
+         intentional, regenerate fixtures/small_trace.report.txt"
+    );
+}
+
+#[test]
+fn golden_fixture_has_a_full_causal_chain() {
+    let trace = Trace::parse(FIXTURE).unwrap();
+    let all = soc_analyze::chains::chains(&trace, &soc_analyze::chains::DEFAULT_TERMINALS);
+    let deepest = all.iter().map(|c| c.depth()).max().unwrap();
+    assert!(
+        deepest >= 4,
+        "expected a warning->capping->cap_set->terminal chain, got depth {deepest}"
+    );
+    let counts = AttributionCounts::from_trace(&trace);
+    for attribution in ["cap", "queueing", "admission_denied"] {
+        assert!(
+            counts.by_attribution(attribution) > 0,
+            "fixture lost the {attribution} slo_miss"
+        );
+    }
+}
+
+proptest! {
+    /// Analyzing the lines in any order yields the same report as analyzing
+    /// them sorted: the canonical ordering makes analysis a function of the
+    /// line *set*.
+    #[test]
+    fn shuffled_line_order_analyzes_identically(seed in 0u64..u64::MAX) {
+        let mut lines: Vec<&str> =
+            FIXTURE.lines().filter(|l| !l.trim().is_empty()).collect();
+        // Fisher-Yates with a tiny deterministic LCG keyed by the seed.
+        let mut state = seed | 1;
+        for i in (1..lines.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            lines.swap(i, j);
+        }
+        let shuffled = Trace::parse(&lines.join("\n")).unwrap();
+        let sorted = Trace::parse(FIXTURE).unwrap();
+        prop_assert_eq!(
+            full_report(&shuffled, "small_trace"),
+            full_report(&sorted, "small_trace")
+        );
+    }
+}

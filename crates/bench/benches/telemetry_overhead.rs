@@ -76,6 +76,7 @@ fn bench_soa_path(c: &mut Criterion) {
         expected_utilization: 0.7,
         duration: None,
         priority: 1,
+        cause: 0,
     };
 
     let mut run_cycle = |label: &str, telemetry: Telemetry, drain: Option<&dyn Fn()>| {

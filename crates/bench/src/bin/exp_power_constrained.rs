@@ -30,7 +30,6 @@ fn main() {
     };
     let naive = run(SystemKind::NaiveOClock);
     let smart = run(SystemKind::SmartOClock);
-    telemetry.flush();
 
     let mut t = Table::new(&["metric", "NaiveOClock", "SmartOClock", "delta"]);
     for load in [LoadLevel::Medium, LoadLevel::High] {
@@ -72,4 +71,5 @@ fn main() {
         "paper: SmartOClock cuts tail latency 6.7%/8.4% (med/high) vs NaiveOClock \
          and lifts MLTrain throughput 10.4%"
     );
+    cli.finish("exp_power_constrained", &telemetry);
 }

@@ -10,7 +10,80 @@ use simcore::report::{fmt_f64, fmt_pct, Table};
 use simcore::series::TimeSeries;
 use simcore::time::{SimDuration, SimTime};
 use soc_bench::Cli;
+use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_traces::gen::{FleetConfig, TraceGenerator};
+
+/// Replay the naive-overclock week against the rack limit, emitting the
+/// causally-linked event chain a rack runtime would produce: approaching the
+/// limit raises `rack_warning`; crossing it raises `rack_capping` (caused by
+/// the warning), caps the highest-drawing servers (`cap_set`, caused by the
+/// capping decision) and revokes their overclock (`revoke`, caused by the
+/// cap); receding power clears the caps (`caps_cleared`).
+fn trace_capping_week(
+    telemetry: &Telemetry,
+    overclocked: &TimeSeries,
+    per_server_extra: &[TimeSeries],
+    limit: f64,
+) {
+    let warn_level = 0.95 * limit;
+    let mut warning_decision = 0u64;
+    let mut cap_decisions: Vec<(usize, u64)> = Vec::new();
+    let mut capping_decision = 0u64;
+    for (i, &oc) in overclocked.values().iter().enumerate() {
+        let now = overclocked.time_at_index(i);
+        if oc >= limit {
+            if cap_decisions.is_empty() {
+                capping_decision = telemetry.next_id();
+                tm_event!(telemetry, now, Component::Rack, Severity::Warn, "rack_capping",
+                    "power_w" => oc, "limit_w" => limit,
+                    "decision_id" => capping_decision, "cause_id" => warning_decision);
+                // Cap the two servers drawing the most overclock power.
+                let mut by_extra: Vec<(usize, f64)> = per_server_extra
+                    .iter()
+                    .enumerate()
+                    .map(|(s, series)| (s, series.values()[i]))
+                    .collect();
+                by_extra.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                for &(server, extra_w) in by_extra.iter().take(2) {
+                    let cap_decision = telemetry.next_id();
+                    tm_event!(telemetry, now, Component::Rack, Severity::Error, "cap_set",
+                        "server" => server, "shed_w" => extra_w,
+                        "decision_id" => cap_decision, "cause_id" => capping_decision);
+                    tm_event!(telemetry, now, Component::Rack, Severity::Error, "revoke",
+                        "server" => server,
+                        "decision_id" => telemetry.next_id(), "cause_id" => cap_decision);
+                    telemetry.metrics(|m| {
+                        m.inc_counter("fig06_revokes", &[("reason", "cap".into())]);
+                    });
+                    cap_decisions.push((server, cap_decision));
+                }
+                telemetry.metrics(|m| {
+                    m.inc_counter("fig06_capping_episodes", &[]);
+                });
+            }
+        } else {
+            if !cap_decisions.is_empty() {
+                tm_event!(telemetry, now, Component::Rack, Severity::Info, "caps_cleared",
+                    "servers" => cap_decisions.len() as u64,
+                    "decision_id" => telemetry.next_id(), "cause_id" => capping_decision);
+                cap_decisions.clear();
+            }
+            if oc >= warn_level {
+                if warning_decision == 0 {
+                    warning_decision = telemetry.next_id();
+                    tm_event!(telemetry, now, Component::Rack, Severity::Warn, "rack_warning",
+                        "power_w" => oc, "limit_w" => limit,
+                        "decision_id" => warning_decision);
+                    telemetry.metrics(|m| {
+                        m.inc_counter("fig06_warnings", &[]);
+                    });
+                }
+            } else {
+                warning_decision = 0;
+            }
+        }
+    }
+}
 
 fn main() {
     let cli = Cli::from_env();
@@ -98,4 +171,10 @@ fn main() {
         overclocked.max(),
         limit
     );
+
+    let telemetry = cli.telemetry();
+    if telemetry.is_enabled() {
+        trace_capping_week(&telemetry, &overclocked, &per_server_extra, limit);
+    }
+    cli.finish("fig06_rack_week", &telemetry);
 }

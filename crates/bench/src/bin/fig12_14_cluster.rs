@@ -40,7 +40,6 @@ fn main() {
             ClusterSim::with_telemetry(cfg, telemetry.clone()).run()
         })
         .collect();
-    telemetry.flush();
 
     // Fig. 12: latency by load class.
     let mut fig12 = Table::new(&[
@@ -128,4 +127,5 @@ fn main() {
         pct_change(results[1].total_energy_j, results[3].total_energy_j),
         pct_change(results[1].socialnet_energy_j, results[3].socialnet_energy_j),
     );
+    cli.finish("fig12_14_cluster", &telemetry);
 }

@@ -34,7 +34,6 @@ fn main() {
         eprintln!("simulating {policy} over {racks} racks...");
         outcomes.insert(policy, simulate_policy_traced(&config, policy, &telemetry));
     }
-    telemetry.flush();
 
     // Group racks by power (terciles of mean utilization), using the
     // baseline outcome set for grouping (identical across policies).
@@ -104,4 +103,5 @@ fn main() {
         fmt_pct(nofb.success_rate),
         fmt_pct(naive.success_rate),
     );
+    cli.finish("table1_policies", &telemetry);
 }

@@ -7,13 +7,21 @@
 //!   the default).
 //! * `--fast` — reduced scale for smoke runs.
 //! * `--csv <path>` — additionally write the table as CSV.
-//! * `--trace-out <path>` — write a JSONL telemetry trace of the run (the
-//!   `SOC_TRACE` environment variable is the equivalent fallback).
+//! * `--trace-out <path>` — write a JSONL telemetry trace of the run. The
+//!   `SOC_TRACE` environment variable is the fallback; when both are set the
+//!   CLI flag wins and a single warning line notes the override.
+//! * `--analyze` — after the run, analyze the trace with `soc-analyze` and
+//!   print the full report to stdout.
+//! * `--report-out <path>` — write that report to a file instead.
+//!
+//! `--analyze` / `--report-out` without a trace path trace to a temporary
+//! file so the analysis still has input.
 //!
 //! This tiny library holds the shared CLI plumbing so the binaries stay
 //! focused on the experiment itself.
 
 use simcore::report::Table;
+use simcore::time::SimTime;
 use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 
@@ -28,6 +36,10 @@ pub struct Cli {
     pub csv: Option<PathBuf>,
     /// Optional JSONL telemetry trace path (`--trace-out` / `SOC_TRACE`).
     pub trace_out: Option<PathBuf>,
+    /// Print a `soc-analyze` report after the run (`--analyze`).
+    pub analyze: bool,
+    /// Write the `soc-analyze` report to this path (`--report-out`).
+    pub report_out: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -37,17 +49,42 @@ impl Default for Cli {
             fast: false,
             csv: None,
             trace_out: None,
+            analyze: false,
+            report_out: None,
         }
     }
 }
 
+/// Apply the trace-path precedence rule: the `--trace-out` CLI flag wins
+/// over the `SOC_TRACE` environment variable. Returns the chosen path and
+/// whether the env var was overridden (callers print one warning line).
+pub fn resolve_trace_out(flag: Option<PathBuf>, env: Option<PathBuf>) -> (Option<PathBuf>, bool) {
+    match (flag, env) {
+        (Some(flag), Some(env)) => {
+            let overridden = env != flag;
+            (Some(flag), overridden)
+        }
+        (Some(flag), None) => (Some(flag), false),
+        (None, env) => (env, false),
+    }
+}
+
 impl Cli {
-    /// Parse from `std::env::args`, ignoring unknown flags. The `SOC_TRACE`
-    /// environment variable supplies `trace_out` when the flag is absent.
+    /// Parse from `std::env::args`. The `SOC_TRACE` environment variable
+    /// supplies `trace_out` when the flag is absent; when both are present
+    /// the flag wins and one warning line is printed. When analysis is
+    /// requested without any trace path, the trace goes to a temporary file.
     pub fn from_env() -> Cli {
         let mut cli = Cli::parse(std::env::args().skip(1));
-        if cli.trace_out.is_none() {
-            cli.trace_out = std::env::var_os("SOC_TRACE").map(PathBuf::from);
+        let env = std::env::var_os("SOC_TRACE").map(PathBuf::from);
+        let (trace_out, overridden) = resolve_trace_out(cli.trace_out.take(), env);
+        if overridden {
+            eprintln!("warning: --trace-out overrides SOC_TRACE");
+        }
+        cli.trace_out = trace_out;
+        if cli.trace_out.is_none() && (cli.analyze || cli.report_out.is_some()) {
+            cli.trace_out =
+                Some(std::env::temp_dir().join(format!("soc-trace-{}.jsonl", std::process::id())));
         }
         cli
     }
@@ -68,6 +105,8 @@ impl Cli {
                 "--fast" => cli.fast = true,
                 "--csv" => cli.csv = iter.next().map(PathBuf::from),
                 "--trace-out" => cli.trace_out = iter.next().map(PathBuf::from),
+                "--analyze" => cli.analyze = true,
+                "--report-out" => cli.report_out = iter.next().map(PathBuf::from),
                 _ => {}
             }
         }
@@ -106,6 +145,43 @@ impl Cli {
             }
         }
     }
+
+    /// Finalize the trace and honor `--analyze` / `--report-out`: dump the
+    /// end-of-run metric snapshot, flush the trace file, then run the
+    /// `soc-analyze` full report on it. The report is titled with the
+    /// experiment `name` (not the path) so equal-seed runs stay
+    /// byte-identical. No-op when neither analysis flag is set.
+    pub fn finish(&self, name: &str, telemetry: &Telemetry) {
+        if telemetry.is_enabled() {
+            telemetry.emit_metrics_snapshot(SimTime::ZERO);
+            telemetry.flush();
+        }
+        if !self.analyze && self.report_out.is_none() {
+            return;
+        }
+        let Some(path) = &self.trace_out else {
+            eprintln!("warning: --analyze/--report-out need a trace; none was written");
+            return;
+        };
+        let trace = match soc_analyze::Trace::load(path) {
+            Ok(trace) => trace,
+            Err(e) => {
+                eprintln!("warning: cannot analyze {}: {e}", path.display());
+                return;
+            }
+        };
+        let report = soc_analyze::full_report(&trace, name);
+        if self.analyze {
+            print!("{report}");
+        }
+        if let Some(out) = &self.report_out {
+            if let Err(e) = std::fs::write(out, &report) {
+                eprintln!("warning: failed to write {}: {e}", out.display());
+            } else {
+                eprintln!("report written to {}", out.display());
+            }
+        }
+    }
 }
 
 /// Format a percentage delta `new` vs `old` (negative = reduction).
@@ -130,6 +206,8 @@ mod tests {
         assert_eq!(cli.seed, 42);
         assert!(!cli.fast);
         assert!(cli.csv.is_none());
+        assert!(!cli.analyze);
+        assert!(cli.report_out.is_none());
     }
 
     #[test]
@@ -148,8 +226,39 @@ mod tests {
     }
 
     #[test]
+    fn parses_analyze_flags() {
+        let cli = parse(&["--analyze", "--report-out", "/tmp/report.txt"]);
+        assert!(cli.analyze);
+        assert_eq!(cli.report_out.unwrap().to_str().unwrap(), "/tmp/report.txt");
+    }
+
+    #[test]
+    fn trace_out_flag_beats_env() {
+        let flag = Some(PathBuf::from("/tmp/flag.jsonl"));
+        let env = Some(PathBuf::from("/tmp/env.jsonl"));
+        let (chosen, warned) = resolve_trace_out(flag.clone(), env.clone());
+        assert_eq!(chosen, flag);
+        assert!(warned, "overriding the env var should warn");
+        // Same path on both sides: no warning.
+        let (chosen, warned) = resolve_trace_out(flag.clone(), flag.clone());
+        assert_eq!(chosen, flag);
+        assert!(!warned);
+        // Env alone is honored silently.
+        let (chosen, warned) = resolve_trace_out(None, env.clone());
+        assert_eq!(chosen, env);
+        assert!(!warned);
+        assert_eq!(resolve_trace_out(None, None), (None, false));
+    }
+
+    #[test]
     fn telemetry_disabled_without_trace_out() {
         assert!(!parse(&[]).telemetry().is_enabled());
+    }
+
+    #[test]
+    fn finish_without_analysis_is_quiet_noop() {
+        // Must not panic or print a report when neither flag is set.
+        parse(&[]).finish("noop", &Telemetry::disabled());
     }
 
     #[test]

@@ -279,6 +279,11 @@ struct Instance {
     /// Consecutive windows over SLO while fully overclocked (SmartOClock's
     /// own scale-out trigger).
     saturated_windows: u32,
+    /// Causal decision id of the most recent `oc_deny` this instance
+    /// received, and when; used to attribute subsequent SLO misses to
+    /// admission denial. Tracing-only: never feeds back into control.
+    last_deny_decision: u64,
+    last_deny_at: SimTime,
 }
 
 /// The cluster simulator. Construct with [`ClusterSim::new`] and call
@@ -297,7 +302,13 @@ pub struct ClusterSim {
     /// Frequency caps from prioritized capping, per server (socialnet+spare
     /// then mltrain).
     caps: Vec<Option<MegaHertz>>,
+    /// Causal decision id of the `cap_set` that imposed each server's cap
+    /// (`0` when uncapped or telemetry is off). Parallel to `caps`.
+    cap_decisions: Vec<u64>,
     last_signal: Option<RackSignal>,
+    /// Causal decision id of the `rack_warning`/`rack_capping` event behind
+    /// `last_signal` (`0` for `Normal` or when telemetry is off).
+    last_signal_decision: u64,
     total_energy_j: f64,
     socialnet_energy_j: f64,
     per_server_energy: Vec<f64>,
@@ -382,6 +393,8 @@ impl ClusterSim {
                 scale_cooldown_until: SimTime::ZERO,
                 scaleup_freq: plan.turbo(),
                 saturated_windows: 0,
+                last_deny_decision: 0,
+                last_deny_at: SimTime::ZERO,
             });
         }
         let mut free_core = vec![0usize; oc_server_count];
@@ -433,6 +446,7 @@ impl ClusterSim {
 
         ClusterSim {
             caps: vec![None; total_servers],
+            cap_decisions: vec![0; total_servers],
             per_server_energy: vec![0.0; total_servers],
             config,
             model,
@@ -443,6 +457,7 @@ impl ClusterSim {
             free_core,
             rack,
             last_signal: None,
+            last_signal_decision: 0,
             total_energy_j: 0.0,
             socialnet_energy_j: 0.0,
             vm_count_samples: Vec::new(),
@@ -537,6 +552,11 @@ impl ClusterSim {
 
         // 2. Advance the queueing sims and gather window stats.
         let tm = self.telemetry.clone();
+        // Per-server cap state snapshot for SLO-miss attribution (the
+        // instance loop below holds a mutable borrow of `self.instances`).
+        let cap_decisions = self.cap_decisions.clone();
+        let capped: Vec<bool> = self.caps.iter().map(Option::is_some).collect();
+        let deny_window = SimDuration::from_secs(30);
         let mut metrics: Vec<VmMetrics> = Vec::with_capacity(self.instances.len());
         for (idx, inst) in self.instances.iter_mut().enumerate() {
             let stats = inst.sim.advance_window(now);
@@ -545,6 +565,38 @@ impl ClusterSim {
                 inst.latencies.push(stats.p99_ms);
                 if stats.p99_ms > inst.sim.spec().slo_ms() {
                     inst.violation_windows += 1;
+                    if tm.is_enabled() {
+                        // Attribute the miss: a frequency cap on a hosting
+                        // server dominates, then a recent admission denial,
+                        // otherwise plain queueing under load.
+                        let cap_cause = inst
+                            .slots
+                            .iter()
+                            .take(inst.sim.active_vms())
+                            .find(|slot| capped[slot.server])
+                            .map(|slot| cap_decisions[slot.server]);
+                        let recent_deny =
+                            inst.last_deny_decision != 0 && now <= inst.last_deny_at + deny_window;
+                        let (attribution, cause) = match cap_cause {
+                            Some(c) => ("cap", c),
+                            None if recent_deny => ("admission_denied", inst.last_deny_decision),
+                            None => ("queueing", 0),
+                        };
+                        tm_event!(tm, now, Component::Harness, Severity::Warn, "slo_miss",
+                            "service" => idx,
+                            "load" => inst.load.name(),
+                            "p99_ms" => stats.p99_ms,
+                            "slo_ms" => inst.sim.spec().slo_ms(),
+                            "attribution" => attribution,
+                            "decision_id" => tm.next_id(),
+                            "cause_id" => cause);
+                        tm.metrics(|m| {
+                            m.inc_counter(
+                                "slo_miss_windows",
+                                &[("attribution", attribution.into())],
+                            );
+                        });
+                    }
                 }
             }
             inst.completed += stats.completions;
@@ -570,10 +622,17 @@ impl ClusterSim {
         // 4. Compute server powers.
         let powers = self.server_powers(&metrics);
 
-        // 5. sOA control ticks (overclocking systems only).
+        // 5. sOA control ticks (overclocking systems only). The previous
+        // tick's rack signal rides in with its decision id so agent-side
+        // corrective events chain back to the rack monitor's alarm.
         if system.overclocks() && system != SystemKind::ScaleUp {
             for (s, &power) in powers.iter().enumerate().take(self.soas.len()) {
-                let events = self.soas[s].control_tick(now, power, self.last_signal);
+                let events = self.soas[s].control_tick_traced(
+                    now,
+                    power,
+                    self.last_signal,
+                    self.last_signal_decision,
+                );
                 self.apply_soa_events(now, s, &events);
             }
         }
@@ -615,18 +674,22 @@ impl ClusterSim {
             });
             match signal {
                 RackSignal::Capping => {
+                    self.last_signal_decision = self.telemetry.next_id();
                     tm_event!(self.telemetry, now, Component::Harness, Severity::Error,
                         "rack_capping",
                         "rack_power_w" => rack1_total.get(),
-                        "limit_w" => self.rack.limit().get());
+                        "limit_w" => self.rack.limit().get(),
+                        "decision_id" => self.last_signal_decision);
                 }
                 RackSignal::Warning => {
+                    self.last_signal_decision = self.telemetry.next_id();
                     tm_event!(self.telemetry, now, Component::Harness, Severity::Warn,
                         "rack_warning",
                         "rack_power_w" => rack1_total.get(),
-                        "limit_w" => self.rack.limit().get());
+                        "limit_w" => self.rack.limit().get(),
+                        "decision_id" => self.last_signal_decision);
                 }
-                RackSignal::Normal => {}
+                RackSignal::Normal => self.last_signal_decision = 0,
             }
         }
         self.last_signal = Some(signal);
@@ -706,6 +769,7 @@ impl ClusterSim {
                         expected_utilization: m.cpu_utilization.clamp(0.0, 1.0),
                         duration: None,
                         priority: 1 + self.instances[idx].load as u32,
+                        cause: self.instances[idx].wi.current_decision(),
                     };
                     match self.soas[server].request_overclock(now, req) {
                         Ok(id) => {
@@ -713,7 +777,10 @@ impl ClusterSim {
                             self.grant_owner.insert((server, id), (idx, vm));
                         }
                         Err(_) => {
-                            self.instances[idx].wi.notify_rejection();
+                            let deny = self.soas[server].last_admission_decision();
+                            self.instances[idx].wi.notify_rejection_with_cause(deny);
+                            self.instances[idx].last_deny_decision = deny;
+                            self.instances[idx].last_deny_at = now;
                         }
                     }
                 }
@@ -795,7 +862,9 @@ impl ClusterSim {
                         }
                     }
                 }
-                SoaEvent::ExhaustionWarning { resource, .. } => {
+                SoaEvent::ExhaustionWarning {
+                    resource, decision, ..
+                } => {
                     if self.config.proactive_scaleout
                         && self.config.system == SystemKind::SmartOClock
                         && *resource == ExhaustedResource::Lifetime
@@ -808,7 +877,9 @@ impl ClusterSim {
                             .map(|(_, &(idx, _))| idx)
                             .collect();
                         for idx in owners {
-                            self.instances[idx].wi.notify_exhaustion();
+                            self.instances[idx]
+                                .wi
+                                .notify_exhaustion_with_cause(*decision);
                         }
                     }
                 }
@@ -878,6 +949,9 @@ impl ClusterSim {
                 let cleared = self.caps.iter().filter(|c| c.is_some()).count();
                 for c in &mut self.caps {
                     *c = None;
+                }
+                for d in &mut self.cap_decisions {
+                    *d = 0;
                 }
                 tm_event!(self.telemetry, now, Component::Harness, Severity::Info,
                     "caps_cleared", "servers" => cleared);
@@ -956,16 +1030,23 @@ impl ClusterSim {
     /// Telemetry for a capping pass: one `cap_set` per newly capped server,
     /// and one `revoke` (reason `cap`) per overclocking grant on a capped
     /// server — a frequency cap below the granted target effectively revokes
-    /// the grant until the rack recovers.
-    fn trace_capping(&self, now: SimTime, capped: &[usize]) {
+    /// the grant until the rack recovers. Each `cap_set` gets a fresh
+    /// decision id (remembered in `cap_decisions` for later SLO-miss
+    /// attribution) caused by the tick's `rack_capping` alarm, and each
+    /// `revoke` chains to the `cap_set` of its server.
+    fn trace_capping(&mut self, now: SimTime, capped: &[usize]) {
         if !self.telemetry.is_enabled() {
             return;
         }
+        let signal_cause = self.last_signal_decision;
         let mut revoked: Vec<(usize, u64, usize, usize)> = Vec::new();
         for &s in capped {
             let cap = self.caps[s].map_or(0, MegaHertz::get);
+            let cap_decision = self.telemetry.next_id();
+            self.cap_decisions[s] = cap_decision;
             tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "cap_set",
-                "server" => s, "cap_mhz" => cap);
+                "server" => s, "cap_mhz" => cap,
+                "decision_id" => cap_decision, "cause_id" => signal_cause);
             for (&(srv, grant), &(idx, vm)) in &self.grant_owner {
                 if srv == s {
                     revoked.push((srv, grant.0, idx, vm));
@@ -978,7 +1059,9 @@ impl ClusterSim {
         for (server, grant, idx, vm) in revoked {
             tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "revoke",
                 "server" => server, "grant" => grant, "service" => idx, "vm" => vm,
-                "reason" => "cap");
+                "reason" => "cap",
+                "decision_id" => self.telemetry.next_id(),
+                "cause_id" => self.cap_decisions[server]);
             self.telemetry
                 .metrics(|m| m.inc_counter("harness_revokes", &[("reason", "cap".into())]));
         }
@@ -1060,7 +1143,8 @@ impl ClusterSim {
                 "rack" => 0usize,
                 "servers" => budgets.len(),
                 "rack_limit_w" => self.rack.limit().get(),
-                "allocated_w" => allocated);
+                "allocated_w" => allocated,
+                "decision_id" => self.telemetry.next_id());
             self.telemetry
                 .metrics(|m| m.inc_counter("goa_budget_splits", &[("rack", 0usize.into())]));
         }

@@ -204,11 +204,13 @@ pub fn simulate_rack_traced(
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
     let mut warned_last_step = false;
     let mut current_week = 0u64;
+    let sim_decision = telemetry.next_id();
     tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
         "rack" => rack.index,
         "policy" => policy.name(),
         "servers" => rack.servers.len(),
-        "limit_w" => rack.limit.get());
+        "limit_w" => rack.limit.get(),
+        "decision_id" => sim_decision);
 
     let mut t = train_end;
     while t < trace_end {
@@ -348,7 +350,9 @@ pub fn simulate_rack_traced(
                 "rack" => rack.index,
                 "policy" => policy.name(),
                 "limit_w" => rack.limit.get(),
-                "penalty" => freq_penalty);
+                "penalty" => freq_penalty,
+                "decision_id" => telemetry.next_id(),
+                "cause_id" => sim_decision);
         }
         if capped {
             outcome.capping_steps += 1;
@@ -411,6 +415,7 @@ pub fn simulate_rack_traced(
     tm_event!(telemetry, trace_end, Component::Sim, Severity::Info, "rack_sim_end",
         "rack" => rack.index,
         "policy" => policy.name(),
+        "cause_id" => sim_decision,
         "steps" => outcome.steps,
         "requests" => outcome.requests,
         "granted" => outcome.granted,

@@ -163,7 +163,8 @@ impl GlobalOverclockAgent {
                 "rack_limit_w" => self.rack_limit.get(),
                 "allocated_w" => allocated,
                 "min_w" => min,
-                "max_w" => max);
+                "max_w" => max,
+                "decision_id" => telemetry.next_id());
             telemetry.metrics(|m| {
                 m.inc_counter("goa_budget_splits", &[("rack", rack.into())]);
                 for (server, budget) in budgets.iter().enumerate() {

@@ -37,6 +37,11 @@ pub struct OverclockRequest {
     /// Priority: higher is more important; scheduled VMs typically outrank
     /// unscheduled ones (§IV-D).
     pub priority: u32,
+    /// Causal decision id of the control-plane decision that triggered this
+    /// request (e.g. the WI agent's `wi_oc_start`). `0` means "no cause";
+    /// ids are allocated by `soc_telemetry::Telemetry::next_id`.
+    #[serde(default)]
+    pub cause: u64,
 }
 
 impl OverclockRequest {
@@ -53,7 +58,14 @@ impl OverclockRequest {
             expected_utilization: 0.9,
             duration: None,
             priority: 1,
+            cause: 0,
         }
+    }
+
+    /// Attach the causal decision id that triggered this request.
+    pub fn caused_by(mut self, cause: u64) -> OverclockRequest {
+        self.cause = cause;
+        self
     }
 
     /// A schedule-based request for a known duration (reserves budget).
@@ -70,6 +82,7 @@ impl OverclockRequest {
             expected_utilization: 0.9,
             duration: Some(duration),
             priority: 2,
+            cause: 0,
         }
     }
 }
@@ -128,6 +141,10 @@ pub enum SoaEvent {
         resource: ExhaustedResource,
         /// Predicted exhaustion instant.
         eta: SimTime,
+        /// Causal decision id of the warning itself (`0` when telemetry is
+        /// disabled); consumers propagate it as the `cause_id` of whatever
+        /// corrective action they take.
+        decision: u64,
     },
 }
 
@@ -162,6 +179,13 @@ mod tests {
         let s = OverclockRequest::scheduled("vm2", 8, MegaHertz::new(3800), SimDuration::HOUR);
         assert_eq!(s.duration, Some(SimDuration::HOUR));
         assert!(s.priority > m.priority);
+    }
+
+    #[test]
+    fn requests_default_to_no_cause() {
+        let m = OverclockRequest::metrics_based("vm1", 4, MegaHertz::new(4000));
+        assert_eq!(m.cause, 0);
+        assert_eq!(m.caused_by(17).cause, 17);
     }
 
     #[test]

@@ -44,6 +44,10 @@ enum AgentMsg {
         now: SimTime,
         measured: Watts,
         signal: Option<RackSignal>,
+        /// Causal decision id of the event that raised `signal` (e.g. a rack
+        /// monitor's `rack_capping`); `0` when unknown. Rides the channel so
+        /// the sOA's corrective events can chain back across threads.
+        signal_cause: u64,
     },
     SetBudget(Watts),
     SetTemplate(Box<PowerTemplate>),
@@ -149,9 +153,12 @@ impl RackRuntime {
                                 now,
                                 measured,
                                 signal,
+                                signal_cause,
                             } => {
                                 last_tick = now;
-                                for event in agent.control_tick(now, measured, signal) {
+                                for event in
+                                    agent.control_tick_traced(now, measured, signal, signal_cause)
+                                {
                                     let _ = events_tx.send((now, index, event));
                                 }
                                 stats.lock()[index] = agent.stats();
@@ -248,15 +255,35 @@ impl RackRuntime {
     /// # Panics
     /// Panics if `measured.len()` differs from the server count.
     pub fn tick_all(&self, now: SimTime, measured: &[Watts], signal: Option<RackSignal>) {
+        self.tick_all_caused(now, measured, signal, 0);
+    }
+
+    /// [`tick_all`](Self::tick_all) carrying the causal decision id of the
+    /// event that raised `signal` (e.g. the rack monitor's `rack_capping`),
+    /// so agent-side corrective events (`capping_reset`, `warning_retreat`)
+    /// chain back to it across the channel. Pass `0` when there is no cause.
+    ///
+    /// # Panics
+    /// Panics if `measured.len()` differs from the server count.
+    pub fn tick_all_caused(
+        &self,
+        now: SimTime,
+        measured: &[Watts],
+        signal: Option<RackSignal>,
+        signal_cause: u64,
+    ) {
         assert_eq!(measured.len(), self.servers(), "one measurement per server");
         tm_event!(self.telemetry, now, Component::Rack, Severity::Debug, "tick_all",
             "servers" => self.servers(),
-            "signal" => signal.is_some());
+            "signal" => signal.is_some(),
+            "decision_id" => self.telemetry.next_id(),
+            "cause_id" => signal_cause);
         for (tx, &m) in self.senders.iter().zip(measured) {
             tx.send(AgentMsg::Tick {
                 now,
                 measured: m,
                 signal,
+                signal_cause,
             })
             .expect("agent thread is alive");
         }

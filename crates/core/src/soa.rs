@@ -127,6 +127,11 @@ pub struct ServerOverclockAgent {
     tracker: TimeInState,
     tracker_epoch: u64,
     grants: BTreeMap<GrantId, Grant>,
+    /// Causal decision id of each live grant's admission (`oc_grant`), used
+    /// as the `cause_id` of follow-on `freq_set`/`grant_end`/`oc_release`
+    /// events. Entries are dropped when the grant ends.
+    grant_decisions: BTreeMap<GrantId, u64>,
+    last_admission_decision: u64,
     next_grant: u64,
     explorer: Explorer,
     last_tick: Option<SimTime>,
@@ -158,6 +163,8 @@ impl ServerOverclockAgent {
             lifetime,
             tracker_epoch: 0,
             grants: BTreeMap::new(),
+            grant_decisions: BTreeMap::new(),
+            last_admission_decision: 0,
             next_grant: 0,
             explorer: Explorer {
                 phase: Phase::Idle,
@@ -277,12 +284,21 @@ impl ServerOverclockAgent {
         now: SimTime,
         request: OverclockRequest,
     ) -> Result<GrantId, RejectReason> {
+        let cause = request.cause;
         let result = self.admit(now, request);
+        // The admission outcome is itself a causal decision: follow-on
+        // events (freq_set, grant_end, slo_miss attribution) point back at
+        // it via `cause_id`.
+        let decision = self.telemetry.next_id();
+        self.last_admission_decision = decision;
         self.telemetry.metrics(|m| {
             m.inc_counter("soa_requests", &[("server", self.server_id.into())]);
         });
         match result {
             Ok(id) => {
+                if decision != 0 {
+                    self.grant_decisions.insert(id, decision);
+                }
                 let grant = &self.grants[&id];
                 tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "oc_grant",
                     "server" => self.server_id,
@@ -291,7 +307,9 @@ impl ServerOverclockAgent {
                     "cores" => grant.cores.len(),
                     "target_mhz" => grant.request.target.get(),
                     "priority" => grant.request.priority,
-                    "scheduled" => grant.ends_at.is_some());
+                    "scheduled" => grant.ends_at.is_some(),
+                    "decision_id" => decision,
+                    "cause_id" => cause);
                 self.telemetry.metrics(|m| {
                     m.inc_counter("soa_grants", &[("server", self.server_id.into())]);
                 });
@@ -299,13 +317,22 @@ impl ServerOverclockAgent {
             Err(reason) => {
                 tm_event!(self.telemetry, now, Component::Soa, Severity::Warn, "oc_deny",
                     "server" => self.server_id,
-                    "reason" => reject_label(reason));
+                    "reason" => reject_label(reason),
+                    "decision_id" => decision,
+                    "cause_id" => cause);
                 self.telemetry.metrics(|m| {
                     m.inc_counter("soa_denials", &[("reason", reject_label(reason).into())]);
                 });
             }
         }
         result
+    }
+
+    /// Causal decision id of the most recent admission outcome (grant or
+    /// denial); `0` before any request or when telemetry is disabled. The
+    /// harness uses this to attribute SLO misses to admission denials.
+    pub fn last_admission_decision(&self) -> u64 {
+        self.last_admission_decision
     }
 
     fn admit(&mut self, now: SimTime, request: OverclockRequest) -> Result<GrantId, RejectReason> {
@@ -419,11 +446,13 @@ impl ServerOverclockAgent {
                     let _ = self.lifetime.release(ends_at.since(now));
                 }
             }
+            let cause = self.grant_decisions.remove(&id).unwrap_or(0);
             tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "oc_release",
                 "server" => self.server_id,
                 "grant" => id.0,
                 "vm" => grant.request.vm.as_str(),
-                "held_us" => now.saturating_since(grant.started));
+                "held_us" => now.saturating_since(grant.started),
+                "cause_id" => cause);
             true
         } else {
             false
@@ -439,6 +468,19 @@ impl ServerOverclockAgent {
         measured_power: Watts,
         signal: Option<RackSignal>,
     ) -> Vec<SoaEvent> {
+        self.control_tick_traced(now, measured_power, signal, 0)
+    }
+
+    /// [`Self::control_tick`] with the causal decision id of the rack event
+    /// that produced `signal` (`0` when unknown): backoff/retreat telemetry
+    /// emitted in response to the signal carries it as `cause_id`.
+    pub fn control_tick_traced(
+        &mut self,
+        now: SimTime,
+        measured_power: Watts,
+        signal: Option<RackSignal>,
+        signal_cause: u64,
+    ) -> Vec<SoaEvent> {
         let mut events = Vec::new();
         self.roll_epoch(now);
         let dt = match self.last_tick {
@@ -450,12 +492,18 @@ impl ServerOverclockAgent {
 
         self.account_time(now, dt, &mut events);
         self.expire_schedules(now, &mut events);
-        self.handle_signal(now, signal);
+        self.handle_signal(now, signal, signal_cause);
         self.feedback_step(measured_power, &mut events);
         self.explore_step(now, measured_power);
         self.power_rejected = false;
         self.predict_exhaustion(now, &mut events);
         self.trace_tick(now, measured_power, &events);
+        // Grants that ended this tick no longer need their admission ids.
+        for event in &events {
+            if let SoaEvent::GrantEnded { grant, .. } = event {
+                self.grant_decisions.remove(grant);
+            }
+        }
         events
     }
 
@@ -477,15 +525,21 @@ impl ServerOverclockAgent {
                     tm_event!(self.telemetry, now, Component::Soa, Severity::Debug, "freq_set",
                         "server" => self.server_id,
                         "grant" => grant.0,
-                        "mhz" => frequency.get());
+                        "mhz" => frequency.get(),
+                        "cause_id" => self.grant_decisions.get(grant).copied().unwrap_or(0));
                 }
                 SoaEvent::GrantEnded { grant, reason } => {
                     tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "grant_end",
                         "server" => self.server_id,
                         "grant" => grant.0,
-                        "reason" => end_label(*reason));
+                        "reason" => end_label(*reason),
+                        "cause_id" => self.grant_decisions.get(grant).copied().unwrap_or(0));
                 }
-                SoaEvent::ExhaustionWarning { resource, eta } => {
+                SoaEvent::ExhaustionWarning {
+                    resource,
+                    eta,
+                    decision,
+                } => {
                     let label = match resource {
                         ExhaustedResource::Power => "power",
                         ExhaustedResource::Lifetime => "lifetime",
@@ -494,7 +548,8 @@ impl ServerOverclockAgent {
                         "exhaustion_warning",
                         "server" => self.server_id,
                         "resource" => label,
-                        "eta_us" => *eta);
+                        "eta_us" => *eta,
+                        "decision_id" => *decision);
                 }
             }
         }
@@ -600,7 +655,7 @@ impl ServerOverclockAgent {
         }
     }
 
-    fn handle_signal(&mut self, now: SimTime, signal: Option<RackSignal>) {
+    fn handle_signal(&mut self, now: SimTime, signal: Option<RackSignal>, signal_cause: u64) {
         match signal {
             Some(RackSignal::Capping) => {
                 // Back to the initial assignment (§IV-D "On a power capping
@@ -613,7 +668,8 @@ impl ServerOverclockAgent {
                 self.explorer.phase = Phase::BackedOff { until };
                 tm_event!(self.telemetry, now, Component::Soa, Severity::Error, "capping_reset",
                     "server" => self.server_id,
-                    "backoff_until_us" => until);
+                    "backoff_until_us" => until,
+                    "cause_id" => signal_cause);
                 self.telemetry.metrics(|m| {
                     m.inc_counter("soa_capping_resets", &[("server", self.server_id.into())]);
                 });
@@ -632,7 +688,8 @@ impl ServerOverclockAgent {
                         "warning_retreat",
                         "server" => self.server_id,
                         "extra_w" => self.explorer.extra.get(),
-                        "backoff_until_us" => until);
+                        "backoff_until_us" => until,
+                        "cause_id" => signal_cause);
                     self.telemetry.metrics(|m| {
                         m.inc_counter("soa_warning_retreats", &[("server", self.server_id.into())]);
                     });
@@ -756,6 +813,7 @@ impl ServerOverclockAgent {
                         events.push(SoaEvent::ExhaustionWarning {
                             resource: ExhaustedResource::Lifetime,
                             eta,
+                            decision: self.telemetry.next_id(),
                         });
                     }
                 }
@@ -766,6 +824,7 @@ impl ServerOverclockAgent {
                     events.push(SoaEvent::ExhaustionWarning {
                         resource: ExhaustedResource::Lifetime,
                         eta,
+                        decision: self.telemetry.next_id(),
                     });
                 }
             }
@@ -785,6 +844,7 @@ impl ServerOverclockAgent {
                         events.push(SoaEvent::ExhaustionWarning {
                             resource: ExhaustedResource::Power,
                             eta,
+                            decision: self.telemetry.next_id(),
                         });
                     }
                 }

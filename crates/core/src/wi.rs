@@ -241,6 +241,15 @@ pub struct GlobalWiAgent {
     overclocking: bool,
     rejections: usize,
     pending_scale_out: usize,
+    /// Causal decision id of the `wi_oc_start` that opened the current
+    /// overclocking episode (`0` when not overclocking or telemetry is off).
+    /// Tracing-only: never feeds back into [`decide`](Self::decide).
+    #[serde(default)]
+    current_decision: u64,
+    /// Causal decision id of the event (denial, exhaustion warning) that made
+    /// the next `wi_scale_out` necessary; `0` when unknown.
+    #[serde(default)]
+    scale_out_cause: u64,
 }
 
 impl GlobalWiAgent {
@@ -252,6 +261,8 @@ impl GlobalWiAgent {
             overclocking: false,
             rejections: 0,
             pending_scale_out: 0,
+            current_decision: 0,
+            scale_out_cause: 0,
         }
     }
 
@@ -267,17 +278,32 @@ impl GlobalWiAgent {
 
     /// A local agent reported that its overclocking request was rejected.
     pub fn notify_rejection(&mut self) {
+        self.notify_rejection_with_cause(0);
+    }
+
+    /// [`notify_rejection`](Self::notify_rejection), recording the causal
+    /// decision id of the denial (the sOA's `oc_deny`) so that a resulting
+    /// `wi_scale_out` can point back at it.
+    pub fn notify_rejection_with_cause(&mut self, cause: u64) {
         self.rejections += 1;
         if self.rejections >= self.policy.rejections_before_scale_out {
             self.pending_scale_out += self.policy.scale_out_step;
             self.rejections = 0;
+            self.scale_out_cause = cause;
         }
     }
 
     /// The sOA predicted resource exhaustion: proactively scale out so the
     /// replacement capacity is ready before overclocking stops (§IV-D).
     pub fn notify_exhaustion(&mut self) {
+        self.notify_exhaustion_with_cause(0);
+    }
+
+    /// [`notify_exhaustion`](Self::notify_exhaustion), recording the causal
+    /// decision id of the `exhaustion_warning` that prompted the scale-out.
+    pub fn notify_exhaustion_with_cause(&mut self, cause: u64) {
         self.pending_scale_out += self.policy.scale_out_step;
+        self.scale_out_cause = cause;
     }
 
     /// Aggregate the deployment-level value of a metric (max for latency and
@@ -363,18 +389,25 @@ impl GlobalWiAgent {
         let decision = self.decide(now);
         if telemetry.is_enabled() {
             if decision.overclock != was_overclocking {
-                let name = if decision.overclock {
-                    "wi_oc_start"
+                if decision.overclock {
+                    self.current_decision = telemetry.next_id();
+                    tm_event!(telemetry, now, Component::Wi, Severity::Info, "wi_oc_start",
+                        "service" => service,
+                        "decision_id" => self.current_decision);
                 } else {
-                    "wi_oc_stop"
-                };
-                tm_event!(telemetry, now, Component::Wi, Severity::Info, name,
-                    "service" => service);
+                    tm_event!(telemetry, now, Component::Wi, Severity::Info, "wi_oc_stop",
+                        "service" => service,
+                        "decision_id" => telemetry.next_id(),
+                        "cause_id" => self.current_decision);
+                    self.current_decision = 0;
+                }
             }
             if decision.scale_out > 0 {
                 tm_event!(telemetry, now, Component::Wi, Severity::Info, "wi_scale_out",
                     "service" => service,
-                    "instances" => decision.scale_out);
+                    "instances" => decision.scale_out,
+                    "decision_id" => telemetry.next_id(),
+                    "cause_id" => std::mem::take(&mut self.scale_out_cause));
                 telemetry.metrics(|m| {
                     m.inc_counter_by(
                         "wi_scale_outs",
@@ -385,7 +418,8 @@ impl GlobalWiAgent {
             }
             if decision.scale_in {
                 tm_event!(telemetry, now, Component::Wi, Severity::Debug, "wi_scale_in",
-                    "service" => service);
+                    "service" => service,
+                    "decision_id" => telemetry.next_id());
             }
         }
         decision
@@ -394,6 +428,16 @@ impl GlobalWiAgent {
     /// Whether the agent currently wants the service overclocked.
     pub fn is_overclocking(&self) -> bool {
         self.overclocking
+    }
+
+    /// Causal decision id of the `wi_oc_start` that opened the current
+    /// overclocking episode; `0` when idle or when telemetry is disabled.
+    /// Attach it to [`OverclockRequest::caused_by`] so downstream
+    /// `oc_grant`/`oc_deny` events chain back to the WI trigger.
+    ///
+    /// [`OverclockRequest::caused_by`]: crate::messages::OverclockRequest::caused_by
+    pub fn current_decision(&self) -> u64 {
+        self.current_decision
     }
 }
 

@@ -27,6 +27,8 @@ pub enum Component {
     Harness,
     /// Large-scale (many-rack) simulation loop.
     Sim,
+    /// End-of-run metrics registry dump (`metric` records).
+    Metrics,
 }
 
 impl Component {
@@ -39,6 +41,7 @@ impl Component {
             Component::Rack => "rack",
             Component::Harness => "harness",
             Component::Sim => "sim",
+            Component::Metrics => "metrics",
         }
     }
 }

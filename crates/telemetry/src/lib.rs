@@ -42,11 +42,15 @@ use simcore::time::SimTime;
 use std::fmt;
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Inner {
     sink: Box<dyn Sink>,
     metrics: MetricsRegistry,
+    /// Next causal decision id. Starts at 1 so that 0 can mean "no id"
+    /// everywhere an id is threaded through the control plane.
+    ids: AtomicU64,
 }
 
 /// Cheap cloneable handle to a telemetry pipeline.
@@ -78,6 +82,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 sink: Box::new(sink),
                 metrics: MetricsRegistry::new(),
+                ids: AtomicU64::new(1),
             })),
         }
     }
@@ -122,10 +127,60 @@ impl Telemetry {
         self.metrics(|m| m.snapshot()).unwrap_or_default()
     }
 
+    /// Allocate the next causal decision id.
+    ///
+    /// Ids start at 1 and increase monotonically per handle; `0` is reserved
+    /// to mean "no id" in `decision_id` / `cause_id` event fields, and is
+    /// what a disabled handle returns. Single-threaded runs therefore get
+    /// deterministic ids, which keeps traces byte-identical per seed.
+    #[inline]
+    pub fn next_id(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.ids.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
     /// Flush the sink (e.g. the JSONL buffer). No-op when disabled.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
             inner.sink.flush();
+        }
+    }
+
+    /// Emit the current metrics registry contents into the event stream as
+    /// `metric` records under [`Component::Metrics`], stamped with `now`.
+    ///
+    /// The dump is explicitly sorted by (metric name, label pairs), so the
+    /// metric section of a JSONL trace is byte-stable across runs and safe
+    /// to diff. Counters and gauges carry a `value` field; histograms carry
+    /// `count`/`mean`/`p50`/`p99`. No-op when disabled.
+    pub fn emit_metrics_snapshot(&self, now: SimTime) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut snap = self.metrics_snapshot();
+        snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (k, v) in &snap.counters {
+            crate::tm_event!(self, now, Component::Metrics, Severity::Debug, "metric",
+                "kind" => "counter", "key" => k.render(), "value" => *v);
+        }
+        for (k, v) in &snap.gauges {
+            crate::tm_event!(self, now, Component::Metrics, Severity::Debug, "metric",
+                "kind" => "gauge", "key" => k.render(), "value" => *v);
+        }
+        for (k, h) in &snap.histograms {
+            if h.is_empty() {
+                crate::tm_event!(self, now, Component::Metrics, Severity::Debug, "metric",
+                    "kind" => "hist", "key" => k.render(), "count" => 0u64);
+            } else {
+                crate::tm_event!(self, now, Component::Metrics, Severity::Debug, "metric",
+                    "kind" => "hist", "key" => k.render(), "count" => h.count(),
+                    "mean" => h.mean(), "p50" => h.quantile(0.50),
+                    "p99" => h.quantile(0.99));
+            }
         }
     }
 
@@ -371,6 +426,53 @@ mod tests {
             "v" => { evaluated = true; 1u64 });
         assert!(evaluated);
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn decision_ids_start_at_one_and_are_sequential() {
+        let (tm, _sink) = Telemetry::memory();
+        assert_eq!(tm.next_id(), 1);
+        assert_eq!(tm.next_id(), 2);
+        let clone = tm.clone();
+        assert_eq!(clone.next_id(), 3, "clones share the id counter");
+        assert_eq!(
+            Telemetry::disabled().next_id(),
+            0,
+            "0 is the reserved no-id value"
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_dump_is_sorted_and_stable() {
+        let (tm, sink) = Telemetry::memory();
+        tm.metrics(|m| {
+            m.inc_counter("zz", &[]);
+            m.inc_counter("aa", &[("rack", 1usize.into())]);
+            m.inc_counter("aa", &[("rack", 0usize.into())]);
+            m.set_gauge("g", &[], 2.5);
+            m.observe("h", &[], 10.0);
+        });
+        tm.emit_metrics_snapshot(SimTime::from_secs(9));
+        let dump: Vec<String> = sink
+            .named("metric")
+            .iter()
+            .map(|e| format!("{} {}", e.get("kind").unwrap(), e.get("key").unwrap()))
+            .collect();
+        assert_eq!(
+            dump,
+            vec![
+                "counter aa{rack=0}",
+                "counter aa{rack=1}",
+                "counter zz",
+                "gauge g",
+                "hist h",
+            ]
+        );
+        // A second dump appends the identical section again.
+        tm.emit_metrics_snapshot(SimTime::from_secs(9));
+        let again = sink.named("metric");
+        assert_eq!(again.len(), 10);
+        assert_eq!(&again[..5], &again[5..]);
     }
 
     #[test]

@@ -162,6 +162,68 @@ fn power_capped_run_emits_revoke_telemetry() {
 }
 
 #[test]
+fn every_revoke_cause_resolves_to_an_earlier_cap_set() {
+    // Causal-id contract on the capping path: each revoke carries a
+    // `cause_id` naming the `cap_set` decision that forced it, on the same
+    // server, stamped no later than the revoke itself.
+    let mut cfg = ClusterConfig::small_test(SystemKind::NaiveOClock);
+    cfg.rack_limit_scale = 0.78;
+    cfg.seed = 10;
+    let (telemetry, sink) = Telemetry::memory();
+    let result = ClusterSim::with_telemetry(cfg, telemetry).run();
+    assert!(result.capping_events > 0, "the constrained rack must cap");
+
+    let field_u64 = |e: &soc_telemetry::Event, key: &str| match e.get(key) {
+        Some(FieldValue::U64(v)) => Some(*v),
+        _ => None,
+    };
+    let cap_sets = sink.named("cap_set");
+    let revokes = sink.named("revoke");
+    assert!(!revokes.is_empty(), "scenario must revoke at least once");
+    for revoke in &revokes {
+        let cause = field_u64(revoke, "cause_id").expect("revoke has cause_id");
+        assert_ne!(cause, 0, "revoke cause_id must name a cap decision");
+        let cap = cap_sets
+            .iter()
+            .find(|c| field_u64(c, "decision_id") == Some(cause))
+            .unwrap_or_else(|| panic!("revoke cause {cause} has no cap_set"));
+        assert!(cap.time <= revoke.time, "cap_set precedes its revoke");
+        assert_eq!(
+            field_u64(cap, "server"),
+            field_u64(revoke, "server"),
+            "cap and revoke must target the same server"
+        );
+    }
+
+    // Capping-attributed SLO misses point back at real cap decisions too.
+    let cap_ids: Vec<u64> = cap_sets
+        .iter()
+        .filter_map(|c| field_u64(c, "decision_id"))
+        .collect();
+    for miss in sink.named("slo_miss") {
+        if matches!(miss.get("attribution"), Some(FieldValue::Str(s)) if s == "cap") {
+            let cause = field_u64(&miss, "cause_id").unwrap_or(0);
+            assert!(
+                cap_ids.contains(&cause),
+                "cap-attributed slo_miss must cite a cap_set decision"
+            );
+        }
+    }
+
+    // Decision ids are unique across the whole trace.
+    let mut ids: Vec<u64> = sink
+        .events()
+        .iter()
+        .filter_map(|e| field_u64(e, "decision_id"))
+        .filter(|&id| id != 0)
+        .collect();
+    let total = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), total, "decision ids must never repeat");
+}
+
+#[test]
 fn disabled_telemetry_changes_nothing() {
     let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
     cfg.seed = 11;
