@@ -21,6 +21,8 @@
 //! byte-identical reports regardless of line order ([`trace::Trace`] sorts
 //! canonically on load).
 
+#![forbid(unsafe_code)]
+
 pub mod attribution;
 pub mod chains;
 pub mod diff;

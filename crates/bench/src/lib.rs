@@ -20,6 +20,8 @@
 //! This tiny library holds the shared CLI plumbing so the binaries stay
 //! focused on the experiment itself.
 
+#![forbid(unsafe_code)]
+
 use simcore::report::Table;
 use simcore::time::SimTime;
 use soc_telemetry::Telemetry;

@@ -31,7 +31,7 @@ use soc_workloads::loadgen::RateSchedule;
 use soc_workloads::microservice::MicroserviceSim;
 use soc_workloads::mltrain::MlTrain;
 use soc_workloads::socialnet::{socialnet_services, LoadLevel};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which control system manages the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -295,7 +295,7 @@ pub struct ClusterSim {
     mltrain: Vec<MlTrain>,
     /// Per-server agents (SocialNet + spare servers only).
     soas: Vec<ServerOverclockAgent>,
-    grant_owner: HashMap<(usize, GrantId), (usize, usize)>,
+    grant_owner: BTreeMap<(usize, GrantId), (usize, usize)>,
     /// Per-server next free core index.
     free_core: Vec<usize>,
     rack: RackMonitor,
@@ -453,7 +453,7 @@ impl ClusterSim {
             instances,
             mltrain,
             soas,
-            grant_owner: HashMap::new(),
+            grant_owner: BTreeMap::new(),
             free_core,
             rack,
             last_signal: None,
@@ -499,7 +499,7 @@ impl ClusterSim {
             "spare_servers" => self.config.spare_servers,
             "ticks" => ticks);
         let span = tm.span(SimTime::ZERO, Component::Harness, "cluster_run");
-        let mut budget_refresh = 0u64;
+        let mut ticks_since_refresh = 0u128;
         // Heterogeneous budgets apply from the start (the gOA computed them
         // from last week's profiles before this experiment began).
         if self.config.system == SystemKind::SmartOClock {
@@ -511,12 +511,12 @@ impl ClusterSim {
             // Refresh heterogeneous budgets periodically (the paper does this
             // weekly from templates; at cluster-experiment timescales we use
             // the latest observed demand every two minutes).
-            budget_refresh += 1;
+            ticks_since_refresh += 1;
             if self.config.system == SystemKind::SmartOClock
-                && budget_refresh as u128 * self.config.tick.as_micros() as u128
-                    >= SimDuration::from_minutes(2).as_micros() as u128
+                && ticks_since_refresh * u128::from(self.config.tick.as_micros())
+                    >= u128::from(SimDuration::from_minutes(2).as_micros())
             {
-                budget_refresh = 0;
+                ticks_since_refresh = 0;
                 self.refresh_budgets(now);
             }
         }
@@ -1039,23 +1039,25 @@ impl ClusterSim {
             return;
         }
         let signal_cause = self.last_signal_decision;
-        let mut revoked: Vec<(usize, u64, usize, usize)> = Vec::new();
+        let mut newly_capped = vec![false; self.caps.len()];
         for &s in capped {
+            newly_capped[s] = true;
             let cap = self.caps[s].map_or(0, MegaHertz::get);
             let cap_decision = self.telemetry.next_id();
             self.cap_decisions[s] = cap_decision;
             tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "cap_set",
                 "server" => s, "cap_mhz" => cap,
                 "decision_id" => cap_decision, "cause_id" => signal_cause);
-            for (&(srv, grant), &(idx, vm)) in &self.grant_owner {
-                if srv == s {
-                    revoked.push((srv, grant.0, idx, vm));
-                }
-            }
         }
-        // HashMap iteration order is arbitrary; sort so traces are
-        // deterministic across runs.
-        revoked.sort_unstable();
+        // One ordered pass over the grant map: BTreeMap iteration is sorted
+        // by (server, grant), so the revoke order is deterministic by
+        // construction — no post-hoc sort needed.
+        let revoked: Vec<(usize, u64, usize, usize)> = self
+            .grant_owner
+            .iter()
+            .filter(|((srv, _), _)| newly_capped[*srv])
+            .map(|(&(srv, grant), &(idx, vm))| (srv, grant.0, idx, vm))
+            .collect();
         for (server, grant, idx, vm) in revoked {
             tm_event!(self.telemetry, now, Component::Harness, Severity::Error, "revoke",
                 "server" => server, "grant" => grant, "service" => idx, "vm" => vm,
@@ -1217,10 +1219,13 @@ impl ClusterSim {
     }
 
     fn remove_vm(&mut self, idx: usize) {
+        // Keep at least one VM per instance; `pop` then always succeeds.
         if self.instances[idx].slots.len() <= 1 {
             return;
         }
-        let slot = self.instances[idx].slots.pop().expect("checked above");
+        let Some(slot) = self.instances[idx].slots.pop() else {
+            return;
+        };
         if let Some(id) = self.instances[idx].grants.pop().flatten() {
             self.soas[slot.server].end_overclock(SimTime::ZERO, id);
             self.grant_owner.remove(&(slot.server, id));

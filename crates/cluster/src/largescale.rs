@@ -331,12 +331,7 @@ pub fn simulate_rack_traced(
             }
             // Enforcement then revokes overclock extras, largest first.
             let mut order: Vec<usize> = (0..n).filter(|&i| granted[i]).collect();
-            order.sort_by(|&a, &b| {
-                extras[b]
-                    .get()
-                    .partial_cmp(&extras[a].get())
-                    .expect("finite watts")
-            });
+            order.sort_by(|&a, &b| extras[b].get().total_cmp(&extras[a].get()));
             for i in order {
                 if draw < rack.limit {
                     break;

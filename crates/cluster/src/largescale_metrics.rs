@@ -135,7 +135,7 @@ pub fn power_groups(outcomes: &[RackOutcome]) -> (Vec<usize>, Vec<usize>, Vec<us
         .iter()
         .map(|o| (o.rack, o.mean_utilization))
         .collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite utilization"));
+    order.sort_by(|a, b| b.1.total_cmp(&a.1));
     let n = order.len();
     let high: Vec<usize> = order.iter().take(n / 3).map(|&(r, _)| r).collect();
     let medium: Vec<usize> = order

@@ -24,6 +24,8 @@
 //! * [`datacenter`] — extension: the §IV-C budget split applied recursively
 //!   at the datacenter level (flat vs. nested enforcement on a shared feed).
 
+#![forbid(unsafe_code)]
+
 pub mod ageing;
 pub mod datacenter;
 pub mod envs;

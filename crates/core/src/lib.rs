@@ -33,6 +33,8 @@
 //! deployment-shaped threaded runtime ([`runtime`] — one sOA per thread
 //! behind message channels).
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod goa;
 pub mod infer;

@@ -620,7 +620,9 @@ impl ServerOverclockAgent {
             let n = self.grants[&id].cores.len();
             let fresh = self.tracker.pick_cores(n, need);
             if fresh.len() == n {
-                self.grants.get_mut(&id).expect("grant exists").cores = fresh;
+                if let Some(g) = self.grants.get_mut(&id) {
+                    g.cores = fresh;
+                }
             } else if self.grants.remove(&id).is_some() {
                 events.push(SoaEvent::SetFrequency {
                     grant: id,
@@ -717,12 +719,13 @@ impl ServerOverclockAgent {
                 .filter(|(_, g)| g.current > turbo)
                 .min_by_key(|(&id, g)| (g.request.priority, id))
             {
-                let g = self.grants.get_mut(&id).expect("grant exists");
-                g.current = plan.step_down(g.current).max(turbo);
-                events.push(SoaEvent::SetFrequency {
-                    grant: id,
-                    frequency: g.current,
-                });
+                if let Some(g) = self.grants.get_mut(&id) {
+                    g.current = plan.step_down(g.current).max(turbo);
+                    events.push(SoaEvent::SetFrequency {
+                        grant: id,
+                        frequency: g.current,
+                    });
+                }
             }
         } else if measured < threshold {
             // Boost the highest-priority grant still below target.
@@ -732,12 +735,13 @@ impl ServerOverclockAgent {
                 .filter(|(_, g)| g.current < g.request.target.min(plan.max_overclock()))
                 .max_by_key(|(&id, g)| (g.request.priority, std::cmp::Reverse(id)))
             {
-                let g = self.grants.get_mut(&id).expect("grant exists");
-                g.current = plan.step_up(g.current).min(g.request.target);
-                events.push(SoaEvent::SetFrequency {
-                    grant: id,
-                    frequency: g.current,
-                });
+                if let Some(g) = self.grants.get_mut(&id) {
+                    g.current = plan.step_up(g.current).min(g.request.target);
+                    events.push(SoaEvent::SetFrequency {
+                        grant: id,
+                        frequency: g.current,
+                    });
+                }
             }
         }
         // Inside the hold band: do nothing.
@@ -882,12 +886,12 @@ mod tests {
         OverclockRequest::metrics_based("vm", cores, MegaHertz::new(4000))
     }
 
-    fn flat_template(watts: f64) -> PowerTemplate {
+    fn flat_template(watts: Watts) -> PowerTemplate {
         let hist = TimeSeries::generate(
             SimTime::ZERO,
             SimTime::ZERO + SimDuration::WEEK,
             SimDuration::from_minutes(5),
-            |_| watts,
+            |_| watts.get(),
         );
         PowerTemplate::build(&hist, TemplateKind::DailyMed)
     }
@@ -895,7 +899,7 @@ mod tests {
     #[test]
     fn grants_when_headroom_exists() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(250.0));
+        a.set_power_template(flat_template(Watts::new(250.0)));
         let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         assert_eq!(a.grants().count(), 1);
         assert_eq!(a.grant(id).unwrap().cores.len(), 8);
@@ -905,7 +909,7 @@ mod tests {
     #[test]
     fn rejects_on_power_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(440.0)); // barely under the 450W budget
+        a.set_power_template(flat_template(Watts::new(440.0))); // barely under the 450W budget
         let err = a
             .request_overclock(SimTime::ZERO, oc_request(32))
             .unwrap_err();
@@ -915,7 +919,7 @@ mod tests {
     #[test]
     fn naive_policy_grants_despite_power() {
         let mut a = agent(PolicyKind::NaiveOClock);
-        a.set_power_template(flat_template(440.0));
+        a.set_power_template(flat_template(Watts::new(440.0)));
         assert!(a.request_overclock(SimTime::ZERO, oc_request(32)).is_ok());
     }
 
@@ -938,7 +942,7 @@ mod tests {
     #[test]
     fn scheduled_requests_reserve_lifetime_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let before = a.lifetime_remaining();
         let req =
             OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(2));
@@ -949,7 +953,7 @@ mod tests {
     #[test]
     fn rejects_scheduled_request_exceeding_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         // Weekly budget is 16.8h; ask for 20h.
         let req =
             OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(20));
@@ -962,7 +966,7 @@ mod tests {
     #[test]
     fn feedback_ramps_frequency_up_to_target() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         // Plenty of headroom: each tick should raise by one step.
         let mut t = SimTime::ZERO;
@@ -976,7 +980,7 @@ mod tests {
     #[test]
     fn feedback_throttles_when_over_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         let mut t = SimTime::ZERO;
         for _ in 0..5 {
@@ -997,7 +1001,7 @@ mod tests {
     #[test]
     fn feedback_prioritizes_important_grants() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let mut low = oc_request(4);
         low.priority = 1;
         low.vm = "low".into();
@@ -1019,7 +1023,7 @@ mod tests {
     fn exploration_raises_effective_budget_when_constrained() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_budget(Watts::new(300.0));
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         // Draw pinned at the budget: constrained, so exploration begins.
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
@@ -1030,7 +1034,7 @@ mod tests {
     fn warning_during_exploration_retreats_and_backs_off() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_budget(Watts::new(300.0));
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
         let explored = a.effective_budget();
@@ -1056,7 +1060,7 @@ mod tests {
     fn power_rejection_triggers_exploration() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_budget(Watts::new(260.0));
-        a.set_power_template(flat_template(250.0));
+        a.set_power_template(flat_template(Watts::new(250.0)));
         // Not enough headroom for 16 cores: rejected for power.
         let err = a
             .request_overclock(SimTime::ZERO, oc_request(16))
@@ -1084,7 +1088,7 @@ mod tests {
     fn nowarning_policy_ignores_warnings() {
         let mut a = agent(PolicyKind::NoWarning);
         a.set_power_budget(Watts::new(300.0));
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
         let explored = a.effective_budget();
@@ -1104,7 +1108,7 @@ mod tests {
     fn nofeedback_policy_never_explores() {
         let mut a = agent(PolicyKind::NoFeedback);
         a.set_power_budget(Watts::new(300.0));
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         for s in 1..100 {
             let _ = a.control_tick(SimTime::from_secs(s), Watts::new(299.0), None);
@@ -1116,7 +1120,7 @@ mod tests {
     fn capping_resets_to_assigned_budget() {
         let mut a = agent(PolicyKind::SmartOClock);
         a.set_power_budget(Watts::new(300.0));
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
         // Explore a couple of steps.
         let _ = a.control_tick(SimTime::from_secs(1), Watts::new(299.0), None);
@@ -1134,7 +1138,7 @@ mod tests {
     #[test]
     fn schedule_expires_and_frequency_returns_to_turbo() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let req = OverclockRequest::scheduled(
             "vm",
             4,
@@ -1160,7 +1164,7 @@ mod tests {
     #[test]
     fn lifetime_exhaustion_ends_grants() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         // Shrink the budget so it exhausts quickly: 0.1% of a week ≈ 10 min.
         a.scale_lifetime_budget(0.01);
         let _ = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
@@ -1193,7 +1197,7 @@ mod tests {
     #[test]
     fn exhaustion_warning_fires_within_window() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         a.scale_lifetime_budget(0.02); // ~20 min budget
         let _ = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
         let mut warned = false;
@@ -1262,7 +1266,7 @@ mod tests {
     #[test]
     fn early_release_returns_scheduled_reservation() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let req =
             OverclockRequest::scheduled("vm", 4, MegaHertz::new(4000), SimDuration::from_hours(4));
         let id = a.request_overclock(SimTime::ZERO, req).unwrap();
@@ -1278,7 +1282,7 @@ mod tests {
     #[test]
     fn end_overclock_removes_grant() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let id = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
         assert!(a.end_overclock(SimTime::from_secs(60), id));
         assert!(!a.end_overclock(SimTime::from_secs(61), id));
@@ -1291,7 +1295,7 @@ mod tests {
         // enough budget to support the VM's overclocking. In that case, the
         // sOA reschedules the VM on those cores."
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         let id = a.request_overclock(SimTime::ZERO, oc_request(4)).unwrap();
         let original = a.grant(id).unwrap().cores.clone();
         // Pre-wear the assigned cores to the brink of their per-core cap.
@@ -1321,7 +1325,7 @@ mod tests {
     #[test]
     fn core_budget_rejection_when_all_cores_worn() {
         let mut a = agent(PolicyKind::SmartOClock);
-        a.set_power_template(flat_template(200.0));
+        a.set_power_template(flat_template(Watts::new(200.0)));
         // Exhaust every core's per-epoch budget except the lifetime budget.
         for c in 0..a.model().cores() {
             a.tracker.record(c, SimDuration::from_days(7));

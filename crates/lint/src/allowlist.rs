@@ -1,0 +1,239 @@
+//! `lint.toml` — the allowlist ratchet.
+//!
+//! Legacy violations are waived one entry at a time, each with a written
+//! justification, so the count can only go down: new code cannot hide behind
+//! old waivers (entries pin a file, optionally a line), and entries that no
+//! longer match anything are reported so they get deleted.
+//!
+//! The format is a deliberately tiny TOML subset, parsed by hand like the
+//! JSON subset in `soc-analyze`:
+//!
+//! ```toml
+//! [[allow]]
+//! lint = "R001"
+//! path = "crates/simcore/src/engine.rs"
+//! # line = 42          # optional: omit to waive the whole file for this lint
+//! justification = "heap pop follows a non-empty check two lines up"
+//! ```
+
+use crate::checks::Diagnostic;
+
+/// One waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub lint: String,
+    pub path: String,
+    /// Waive only this line when present; the whole file for `lint` when
+    /// absent.
+    pub line: Option<u32>,
+    pub justification: String,
+}
+
+impl AllowEntry {
+    fn matches(&self, d: &Diagnostic) -> bool {
+        self.lint == d.lint && self.path == d.path && self.line.is_none_or(|l| l == d.line)
+    }
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Parse `lint.toml` text. Unknown keys, missing required keys, and
+    /// anything outside the subset are hard errors: a waiver file that
+    /// cannot be read exactly is a waiver file that silently waives wrong.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(partial) = current.take() {
+                    entries.push(partial.finish()?);
+                }
+                current = Some(PartialEntry::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint.toml:{lineno}: expected `key = value` or [[allow]]"
+                ));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "lint.toml:{lineno}: key outside an [[allow]] table"
+                ));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "lint" => entry.lint = Some(parse_string(value, lineno)?),
+                "path" => entry.path = Some(parse_string(value, lineno)?),
+                "justification" => entry.justification = Some(parse_string(value, lineno)?),
+                "line" => {
+                    let n: u32 = value
+                        .parse()
+                        .map_err(|_| format!("lint.toml:{lineno}: line must be an integer"))?;
+                    entry.line = Some(n);
+                }
+                other => {
+                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(partial) = current.take() {
+            entries.push(partial.finish()?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Split diagnostics into (blocking, waived); also returns the indices of
+    /// entries that matched nothing (stale waivers to delete).
+    pub fn apply(
+        &self,
+        diags: Vec<Diagnostic>,
+    ) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<&AllowEntry>) {
+        let mut blocking = Vec::new();
+        let mut waived = Vec::new();
+        let mut used = vec![false; self.entries.len()];
+        for d in diags {
+            match self.entries.iter().position(|e| e.matches(&d)) {
+                Some(i) => {
+                    used[i] = true;
+                    waived.push(d);
+                }
+                None => blocking.push(d),
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e)
+            .collect();
+        (blocking, waived, stale)
+    }
+}
+
+#[derive(Default)]
+struct PartialEntry {
+    lint: Option<String>,
+    path: Option<String>,
+    line: Option<u32>,
+    justification: Option<String>,
+}
+
+impl PartialEntry {
+    fn finish(self) -> Result<AllowEntry, String> {
+        let lint = self
+            .lint
+            .ok_or("lint.toml: [[allow]] entry missing `lint`")?;
+        let path = self
+            .path
+            .ok_or("lint.toml: [[allow]] entry missing `path`")?;
+        let justification = self.justification.ok_or_else(|| {
+            format!("lint.toml: waiver for {lint} at {path} has no justification")
+        })?;
+        if justification.trim().is_empty() {
+            return Err(format!(
+                "lint.toml: waiver for {lint} at {path} has an empty justification"
+            ));
+        }
+        Ok(AllowEntry {
+            lint,
+            path,
+            line: self.line,
+            justification,
+        })
+    }
+}
+
+/// Parse a double-quoted TOML string (no escape support needed for paths,
+/// lint ids, and prose; a backslash is taken literally).
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(format!(
+            "lint.toml:{lineno}: expected a double-quoted string"
+        ))?;
+    Ok(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(lint: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# ratchet file
+[[allow]]
+lint = "R001"
+path = "crates/simcore/src/engine.rs"
+justification = "heap pop follows a non-empty check"
+
+[[allow]]
+lint = "R002"
+path = "crates/core/src/soa.rs"
+line = 99
+justification = "unreachable by grant-id construction"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let list = Allowlist::parse(SAMPLE).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].line, None);
+        assert_eq!(list.entries[1].line, Some(99));
+    }
+
+    #[test]
+    fn apply_splits_and_reports_stale() {
+        let list = Allowlist::parse(SAMPLE).unwrap();
+        let diags = vec![
+            diag("R001", "crates/simcore/src/engine.rs", 10),
+            diag("R001", "crates/simcore/src/stats.rs", 3),
+            diag("R002", "crates/core/src/soa.rs", 98),
+        ];
+        let (blocking, waived, stale) = list.apply(diags);
+        // File-level waiver catches engine.rs; wrong file and wrong line block.
+        assert_eq!(waived.len(), 1);
+        assert_eq!(blocking.len(), 2);
+        // The line-pinned entry matched nothing.
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].lint, "R002");
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let bad = "[[allow]]\nlint = \"R001\"\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let bad = "[[allow]]\nlint = \"R001\"\npath = \"x.rs\"\nreason = \"nope\"\n";
+        assert!(Allowlist::parse(bad).is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_list() {
+        assert!(Allowlist::parse("# nothing\n").unwrap().entries.is_empty());
+    }
+}

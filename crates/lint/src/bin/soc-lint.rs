@@ -1,0 +1,141 @@
+//! `soc-lint` — command-line determinism/unit-safety checks.
+//!
+//! ```text
+//! soc-lint check [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint json  [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint list
+//! ```
+//!
+//! `check` prints human diagnostics and exits non-zero when any violation is
+//! not waived by `lint.toml`; `json` is the same check with the machine
+//! report (the CI artifact) on stdout or `--out`; `list` prints the catalog.
+
+use soc_lint::report::render_catalog;
+use soc_lint::workspace::run_check;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: soc-lint <command> [args]
+
+commands:
+  check [--root DIR] [--allowlist FILE] [--out FILE]
+        lint the workspace; exit 1 on non-allowlisted violations
+  json  [--root DIR] [--allowlist FILE] [--out FILE]
+        same check, JSON report (always written, even on failure)
+  list  print the lint catalog with rationales and waiver instructions
+
+--root defaults to the nearest ancestor containing crates/ (or .);
+--allowlist defaults to <root>/lint.toml.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("soc-lint: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `(name, value)` pairs parsed from `--name value` arguments.
+type Flags<'a> = Vec<(&'a str, &'a str)>;
+
+/// Split off every `--flag value` pair; returns (positional, flags).
+fn split_flags(args: &[String]) -> Result<(Vec<&str>, Flags<'_>), String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(arg);
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(k, _)| *k == name)
+        .map(|(_, v)| *v)
+}
+
+/// Walk up from the current directory to the nearest dir containing
+/// `crates/`; fall back to `.` (the error from the walker names the path).
+fn default_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+/// Print to stdout, or write to `--out FILE` when given.
+fn deliver(text: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| format!("writing {path}: {e}"))
+            .map(|()| eprintln!("soc-lint: report written to {path}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Returns Ok(true) when the workspace is clean (exit 0).
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(command) = args.first().map(String::as_str) else {
+        return Err(USAGE.to_string());
+    };
+    let (positional, flags) = split_flags(&args[1..])?;
+    if !positional.is_empty() {
+        return Err(format!(
+            "{command} takes no positional arguments\n\n{USAGE}"
+        ));
+    }
+    match command {
+        "check" | "json" => {
+            let root = flag(&flags, "root").map_or_else(default_root, PathBuf::from);
+            let allowlist =
+                flag(&flags, "allowlist").map_or_else(|| root.join("lint.toml"), PathBuf::from);
+            let report = run_check(&root, Path::new(&allowlist))?;
+            let rendered = if command == "json" {
+                report.render_json()
+            } else {
+                report.render_human()
+            };
+            deliver(&rendered, flag(&flags, "out"))?;
+            Ok(report.blocking.is_empty())
+        }
+        "list" => {
+            print!("{}", render_catalog());
+            Ok(true)
+        }
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,182 @@
+//! The lint catalog: every lint `soc-lint` knows, with the rationale and a
+//! waiver recipe. `soc-lint list` renders this table; DESIGN.md documents it.
+
+use std::fmt;
+
+/// Lint category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// D-lints: bit-determinism per seed. Violations make causal-trace
+    /// diffs (PR 2) meaningless because runs stop being byte-identical.
+    Determinism,
+    /// U-lints: physical quantities behind `power::units` newtypes so
+    /// watt/megahertz arithmetic cannot silently mix scales.
+    Units,
+    /// R-lints: no panicking paths in library code; casts on physical
+    /// values must be explicit conversions.
+    Robustness,
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Determinism => "determinism",
+            Category::Units => "units",
+            Category::Robustness => "robustness",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one lint.
+pub struct LintInfo {
+    /// Stable id (`D001`); allowlist entries reference this.
+    pub id: &'static str,
+    /// Short name for listings.
+    pub name: &'static str,
+    pub category: Category,
+    /// One-line summary shown with each diagnostic.
+    pub summary: &'static str,
+    /// Why the invariant matters for SmartOClock specifically.
+    pub rationale: &'static str,
+    /// A minimal violating snippet.
+    pub example: &'static str,
+}
+
+/// Every lint, in id order. Checks in `checks.rs` must emit only these ids
+/// (enforced by a test).
+pub const CATALOG: &[LintInfo] = &[
+    LintInfo {
+        id: "D001",
+        name: "hash-collections-in-sim-state",
+        category: Category::Determinism,
+        summary: "HashMap/HashSet in a sim-state crate; use BTreeMap/BTreeSet",
+        rationale: "Hash iteration order is randomized per process, so any loop over a \
+                    hash collection in simulation state produces run-to-run differences \
+                    that break byte-identical traces (and with them `soc-analyze diff`).",
+        example: "use std::collections::HashMap;",
+    },
+    LintInfo {
+        id: "D002",
+        name: "wall-clock-in-sim-state",
+        category: Category::Determinism,
+        summary: "std::time::Instant/SystemTime in a sim-state crate; use simcore::time",
+        rationale: "Wall-clock reads smuggle host timing into simulation state; all sim \
+                    time must flow through SimTime so a seed fully determines a run.",
+        example: "let t0 = std::time::Instant::now();",
+    },
+    LintInfo {
+        id: "D003",
+        name: "env-in-sim-state",
+        category: Category::Determinism,
+        summary: "std::env in a sim-state crate; configuration must be explicit",
+        rationale: "Environment lookups make behaviour depend on invisible host state; \
+                    sim crates take configuration as values so runs are reproducible \
+                    from their inputs alone (bench binaries may read SOC_TRACE — they \
+                    are not sim-state crates).",
+        example: "let mode = std::env::var(\"MODE\");",
+    },
+    LintInfo {
+        id: "D004",
+        name: "external-rng-in-sim-state",
+        category: Category::Determinism,
+        summary: "rand/thread_rng in a sim-state crate; randomness only via simcore::rng::Pcg32",
+        rationale: "thread_rng and friends seed from the OS; every random draw in the sim \
+                    path must come from the run's seeded Pcg32 stream or replays diverge.",
+        example: "let x = rand::thread_rng().gen::<f64>();",
+    },
+    LintInfo {
+        id: "U001",
+        name: "raw-float-power-parameter",
+        category: Category::Units,
+        summary: "power-named fn parameter typed as a raw float; use power::units::Watts",
+        rationale: "The admission-control and budget-enforcement paths are constant \
+                    watt arithmetic; a raw f64 watt parameter is one call site away \
+                    from a kilowatt/watt mixup that silently breaks capping (the \
+                    CloudPowerCap failure mode).",
+        example: "fn set_budget(&mut self, budget_w: f64)",
+    },
+    LintInfo {
+        id: "U002",
+        name: "raw-number-frequency-parameter",
+        category: Category::Units,
+        summary: "frequency-named fn parameter typed as a raw number; use power::units::MegaHertz",
+        rationale: "Frequency plans mix base/turbo/overclock values in MHz; a raw u32 \
+                    or f64 frequency accepts GHz-scaled values without complaint.",
+        example: "fn cap(&mut self, freq_mhz: u32)",
+    },
+    LintInfo {
+        id: "U003",
+        name: "raw-number-quantity-field",
+        category: Category::Units,
+        summary: "power/frequency-named struct field typed as a raw number; use the units newtypes",
+        rationale: "Struct fields outlive their constructor's discipline: a raw f64 \
+                    `power` field re-opens unit confusion at every read site.",
+        example: "struct Server { budget_w: f64 }",
+    },
+    LintInfo {
+        id: "R001",
+        name: "unwrap-in-library-code",
+        category: Category::Robustness,
+        summary:
+            "unwrap()/expect() outside #[cfg(test)]; return a Result or document the invariant",
+        rationale: "A panicking accessor in the sim path aborts a whole multi-day \
+                    cluster sweep; library code propagates errors, tests may unwrap.",
+        example: "let v = map.get(&k).unwrap();",
+    },
+    LintInfo {
+        id: "R002",
+        name: "panic-in-library-code",
+        category: Category::Robustness,
+        summary: "panic!/todo!/unimplemented! outside #[cfg(test)]",
+        rationale: "Explicit panics in library code are unfinished work or unstated \
+                    invariants; both belong in the type system or an allowlist entry \
+                    that names the invariant.",
+        example: "None => panic!(\"no grant\")",
+    },
+    LintInfo {
+        id: "R003",
+        name: "lossy-cast-on-quantity",
+        category: Category::Robustness,
+        summary:
+            "`as` integer cast on a time/power-named value; use a checked or documented conversion",
+        rationale: "`x as u64` on a sim-time or wattage silently truncates and \
+                    saturates; conversions on physical values must be explicit about \
+                    rounding so two code paths cannot round differently.",
+        example: "let whole = watts as u64;",
+    },
+];
+
+/// Look up a lint by id.
+pub fn lint(id: &str) -> Option<&'static LintInfo> {
+    CATALOG.iter().find(|l| l.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_ordered_within_category() {
+        let ids: Vec<&str> = CATALOG.iter().map(|l| l.id).collect();
+        let mut deduped = ids.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(ids.len(), deduped.len(), "catalog ids must be unique");
+        // Within each category prefix, ids ascend.
+        for pair in ids.windows(2) {
+            if pair[0].as_bytes()[0] == pair[1].as_bytes()[0] {
+                assert!(pair[0] < pair[1], "{} must precede {}", pair[0], pair[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert_eq!(
+            lint("D001").map(|l| l.name),
+            Some("hash-collections-in-sim-state")
+        );
+        assert!(lint("Z999").is_none());
+    }
+}

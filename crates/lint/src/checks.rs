@@ -1,0 +1,651 @@
+//! Lint implementations. Each check is a token-pattern query over a
+//! [`SourceFile`]; together they emit only ids present in the catalog.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+/// Crates whose contents are simulation state: a seed must fully determine
+/// every byte they compute. D- and U-lints apply only here; R-lints apply to
+/// all library code.
+pub const SIM_STATE_CRATES: &[&str] = &[
+    "simcore",
+    "core",
+    "power",
+    "cluster",
+    "workloads",
+    "reliability",
+    "traces",
+];
+
+/// One lint violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Catalog id (`D001`).
+    pub lint: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What was found, concretely.
+    pub message: String,
+}
+
+/// Run every applicable lint over one file. Diagnostics are deduplicated per
+/// `(lint, line)` and sorted by `(line, lint)`.
+pub fn check_file(src: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let sim_state = SIM_STATE_CRATES.contains(&src.crate_name.as_str());
+    if sim_state {
+        determinism_lints(src, &mut diags);
+        unit_lints(src, &mut diags);
+    }
+    if !src.is_bin {
+        robustness_lints(src, &mut diags);
+    }
+    diags.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    diags.dedup_by(|a, b| a.lint == b.lint && a.line == b.line);
+    diags
+}
+
+fn push(diags: &mut Vec<Diagnostic>, src: &SourceFile, lint: &'static str, line: u32, msg: String) {
+    diags.push(Diagnostic {
+        lint,
+        path: src.path.clone(),
+        line,
+        message: msg,
+    });
+}
+
+// ---------------------------------------------------------------- D-lints --
+
+/// D001–D004 apply to the whole file, test code included: a flaky test from
+/// hash-order or wall-clock dependence costs the same debugging time as a
+/// flaky simulation.
+fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "HashMap" | "HashSet" => push(
+                diags,
+                src,
+                "D001",
+                t.line,
+                format!("{} in sim-state crate `{}`; hash iteration order is per-process random — use BTreeMap/BTreeSet", t.text, src.crate_name),
+            ),
+            "Instant" | "SystemTime" => push(
+                diags,
+                src,
+                "D002",
+                t.line,
+                format!("std::time::{} reads the wall clock; sim time must come from simcore::time::SimTime", t.text),
+            ),
+            "env" if path_prefix(toks, i, "std") => push(
+                diags,
+                src,
+                "D003",
+                t.line,
+                "std::env read in sim-state crate; pass configuration explicitly".to_string(),
+            ),
+            "thread_rng" => push(
+                diags,
+                src,
+                "D004",
+                t.line,
+                "thread_rng seeds from the OS; draw from the run's simcore::rng::Pcg32 stream".to_string(),
+            ),
+            "rand" if is_crate_use(toks, i) => push(
+                diags,
+                src,
+                "D004",
+                t.line,
+                "the `rand` crate is non-deterministic across versions and platforms; use simcore::rng::Pcg32".to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// Is token `i` the segment right after `prefix ::`?
+fn path_prefix(toks: &[Token], i: usize, prefix: &str) -> bool {
+    i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident(prefix)
+}
+
+/// Is the identifier at `i` used as an external crate path root
+/// (`rand::…` or `use rand…`)?
+fn is_crate_use(toks: &[Token], i: usize) -> bool {
+    let followed_by_path = toks.get(i + 1).is_some_and(|t| t.is_punct("::"));
+    let after_use = i >= 1 && toks[i - 1].is_ident("use");
+    // `foo::rand::…` is a module named rand, not the crate.
+    (followed_by_path && !(i >= 1 && toks[i - 1].is_punct("::"))) || after_use
+}
+
+// ---------------------------------------------------------------- U-lints --
+
+/// Name-pattern fragments that mark a value as a *derived* quantity (ratio,
+/// scaling factor, exponent) where a bare float is the correct type.
+const DIMENSIONLESS_MARKERS: &[&str] = &[
+    "ratio", "frac", "scale", "factor", "coeff", "slope", "alpha", "exponent", "pct", "percent",
+    "share", "weight", "norm", "prob", "util", "penalty",
+];
+
+fn is_dimensionless(name: &str) -> bool {
+    DIMENSIONLESS_MARKERS.iter().any(|m| name.contains(m))
+}
+
+/// Does this identifier name a power quantity that should be `Watts`?
+fn is_power_name(name: &str) -> bool {
+    if is_dimensionless(name) {
+        return false;
+    }
+    name.ends_with("_w")
+        || name.contains("watt")
+        || name == "power"
+        || name.starts_with("power_")
+        || name.ends_with("_power")
+        || name == "budget"
+        || name.starts_with("budget_")
+        || name.ends_with("_budget")
+}
+
+/// Does this identifier name a frequency that should be `MegaHertz`?
+fn is_freq_name(name: &str) -> bool {
+    if is_dimensionless(name) {
+        return false;
+    }
+    name.contains("mhz")
+        || name == "freq"
+        || name.starts_with("freq")
+        || name.ends_with("_freq")
+        || name.contains("frequency")
+}
+
+const FLOAT_TYPES: &[&str] = &["f64", "f32"];
+const NUMERIC_TYPES: &[&str] = &[
+    "f64", "f32", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// U001/U002 on `fn` parameters and U003 on struct fields. Test code is
+/// scanned too: a test helper taking `watts: f64` reintroduces the exact
+/// call-site ambiguity the newtypes exist to remove.
+fn unit_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") {
+            if let Some((params, end)) = fn_params(toks, i) {
+                for (name, line, ty) in params {
+                    check_quantity(src, diags, "parameter", &name, line, &ty, true);
+                }
+                i = end;
+                continue;
+            }
+        } else if toks[i].is_ident("struct") {
+            if let Some((fields, end)) = struct_fields(toks, i) {
+                for (name, line, ty) in fields {
+                    check_quantity(src, diags, "field", &name, line, &ty, false);
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Emit U001/U002/U003 for one named, typed slot if its name/type pair is a
+/// raw physical quantity.
+fn check_quantity(
+    src: &SourceFile,
+    diags: &mut Vec<Diagnostic>,
+    slot: &str,
+    name: &str,
+    line: u32,
+    ty: &[Token],
+    is_param: bool,
+) {
+    // Only a bare primitive type is "raw": `Vec<f64>`, `Option<Watts>`, or
+    // references are aggregate shapes the newtype rule does not dictate.
+    let [only] = ty else { return };
+    let raw_float = FLOAT_TYPES.contains(&only.text.as_str());
+    let raw_number = NUMERIC_TYPES.contains(&only.text.as_str());
+    if is_power_name(name) && raw_float {
+        let lint = if is_param { "U001" } else { "U003" };
+        push(
+            diags,
+            src,
+            lint,
+            line,
+            format!(
+                "power-named {slot} `{name}: {}`; use soc_power::units::Watts",
+                only.text
+            ),
+        );
+    } else if is_freq_name(name) && raw_number {
+        let lint = if is_param { "U002" } else { "U003" };
+        push(
+            diags,
+            src,
+            lint,
+            line,
+            format!(
+                "frequency-named {slot} `{name}: {}`; use soc_power::units::MegaHertz",
+                only.text
+            ),
+        );
+    }
+}
+
+/// One `name: type` binding — a fn parameter or struct field — as
+/// `(name, line, type tokens)`.
+type Binding = (String, u32, Vec<Token>);
+
+/// Parse the parameter list of the `fn` at `fn_idx`. Returns
+/// `(params, index past the closing paren)`; each param is
+/// `(name, line, type tokens)`. Self receivers and non-identifier patterns
+/// are skipped.
+fn fn_params(toks: &[Token], fn_idx: usize) -> Option<(Vec<Binding>, usize)> {
+    let mut i = fn_idx + 1;
+    // fn name, possibly with generics before the paren.
+    if !toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
+        return None;
+    }
+    i += 1;
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        i = skip_angles(toks, i)?;
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct("(")) {
+        return None;
+    }
+    let close = matching_paren(toks, i)?;
+    let mut params = Vec::new();
+    for group in split_commas(&toks[i + 1..close]) {
+        let mut g = group;
+        while g.first().is_some_and(|t| t.is_ident("mut")) {
+            g = &g[1..];
+        }
+        // Skip receivers and non-trivial patterns: we need `ident : type`.
+        let [name, colon, ty @ ..] = g else { continue };
+        if name.kind != TokenKind::Ident || !colon.is_punct(":") || name.text == "self" {
+            continue;
+        }
+        params.push((name.text.clone(), name.line, ty.to_vec()));
+    }
+    Some((params, close + 1))
+}
+
+/// Parse the fields of the braced `struct` at `struct_idx`. Tuple and unit
+/// structs yield no fields. Returns `(fields, index past the closing brace)`.
+fn struct_fields(toks: &[Token], struct_idx: usize) -> Option<(Vec<Binding>, usize)> {
+    let mut i = struct_idx + 1;
+    if !toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
+        return None;
+    }
+    i += 1;
+    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
+        i = skip_angles(toks, i)?;
+    }
+    if !toks.get(i).is_some_and(|t| t.is_punct("{")) {
+        return None; // tuple struct, unit struct, or `struct X where …`
+    }
+    let close = matching_brace(toks, i)?;
+    let mut fields = Vec::new();
+    for group in split_commas(&toks[i + 1..close]) {
+        let mut g = group;
+        // Strip field attributes and visibility.
+        loop {
+            if g.first().is_some_and(|t| t.is_punct("#"))
+                && g.get(1).is_some_and(|t| t.is_punct("["))
+            {
+                let Some(end) = g.iter().position(|t| t.is_punct("]")) else {
+                    break;
+                };
+                g = &g[end + 1..];
+            } else if g.first().is_some_and(|t| t.is_ident("pub")) {
+                g = &g[1..];
+                if g.first().is_some_and(|t| t.is_punct("(")) {
+                    let Some(end) = g.iter().position(|t| t.is_punct(")")) else {
+                        break;
+                    };
+                    g = &g[end + 1..];
+                }
+            } else {
+                break;
+            }
+        }
+        let [name, colon, ty @ ..] = g else { continue };
+        if name.kind != TokenKind::Ident || !colon.is_punct(":") {
+            continue;
+        }
+        fields.push((name.text.clone(), name.line, ty.to_vec()));
+    }
+    Some((fields, close + 1))
+}
+
+/// Split a token slice at top-level commas (tracking `()`, `[]`, `{}`, `<>`).
+fn split_commas(toks: &[Token]) -> Vec<&[Token]> {
+    let mut groups = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (j, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => depth += 1,
+            ")" | "]" | "}" | ">" => depth -= 1,
+            "," if depth == 0 => {
+                groups.push(&toks[start..j]);
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < toks.len() {
+        groups.push(&toks[start..]);
+    }
+    groups
+}
+
+/// Skip a `<…>` generics group starting at `open`; returns index past `>`.
+fn skip_angles(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j + 1);
+            }
+        }
+    }
+    None
+}
+
+fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    matching_punct(toks, open, "(", ")")
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    matching_punct(toks, open, "{", "}")
+}
+
+fn matching_punct(toks: &[Token], open: usize, o: &str, c: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(o) {
+            depth += 1;
+        } else if t.is_punct(c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------- R-lints --
+
+/// Identifier patterns for sim-time values (R003).
+fn is_time_name(name: &str) -> bool {
+    name.ends_with("_s")
+        || name.ends_with("_secs")
+        || name.ends_with("_us")
+        || name.ends_with("_ms")
+        || name.ends_with("_ns")
+        || name.contains("time")
+        || name.contains("secs")
+}
+
+/// R001–R003 on non-test tokens.
+fn robustness_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &src.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || src.in_test[i] {
+            continue;
+        }
+        match t.text.as_str() {
+            // `.unwrap()` with no argument; `.expect("…")` only with a string
+            // message — a non-string argument means an ordinary method that
+            // happens to be named expect (the JSON parser has one).
+            "unwrap"
+                if i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(")")) =>
+            {
+                push(
+                    diags,
+                    src,
+                    "R001",
+                    t.line,
+                    ".unwrap() in library code; return a Result or justify the invariant in lint.toml".to_string(),
+                );
+            }
+            "expect"
+                if i >= 1
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|n| n.text == "\"…\"") =>
+            {
+                push(
+                    diags,
+                    src,
+                    "R001",
+                    t.line,
+                    ".expect(\"…\") in library code; return a Result or justify the invariant in lint.toml".to_string(),
+                );
+            }
+            "panic" | "todo" | "unimplemented"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                push(
+                    diags,
+                    src,
+                    "R002",
+                    t.line,
+                    format!(
+                        "{}! in library code; encode the invariant or return an error",
+                        t.text
+                    ),
+                );
+            }
+            name if (is_time_name(name) || is_power_name(name))
+                && toks.get(i + 1).is_some_and(|n| n.is_ident("as"))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|n| NUMERIC_TYPES[2..].contains(&n.text.as_str())) =>
+            {
+                push(
+                    diags,
+                    src,
+                    "R003",
+                    t.line,
+                    format!("`{} as {}` truncates a physical quantity; use an explicit rounding conversion", name, toks[i + 2].text),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn lint_src(crate_name: &str, path: &str, src: &str) -> Vec<(String, u32)> {
+        let sf = SourceFile::parse(path, crate_name, src);
+        check_file(&sf)
+            .into_iter()
+            .map(|d| (d.lint.to_string(), d.line))
+            .collect()
+    }
+
+    fn sim(src: &str) -> Vec<(String, u32)> {
+        lint_src("power", "crates/power/src/x.rs", src)
+    }
+
+    #[test]
+    fn d001_hash_collections() {
+        assert_eq!(
+            sim("use std::collections::HashMap;"),
+            [("D001".to_string(), 1)]
+        );
+        assert_eq!(
+            sim("let s: HashSet<u32> = HashSet::new();"),
+            [("D001".to_string(), 1)]
+        );
+        assert!(sim("use std::collections::BTreeMap;").is_empty());
+        // Non-sim crate: no D-lint.
+        assert!(lint_src(
+            "analyze",
+            "crates/analyze/src/x.rs",
+            "use std::collections::HashMap;"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d002_wall_clock() {
+        assert_eq!(sim("let t = Instant::now();"), [("D002".to_string(), 1)]);
+        assert_eq!(
+            sim("let t = std::time::SystemTime::now();"),
+            [("D002".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn d003_env_needs_std_prefix() {
+        assert_eq!(
+            sim("let v = std::env::var(\"X\");"),
+            [("D003".to_string(), 1)]
+        );
+        // A local module named env is not std::env.
+        assert!(sim("let v = config::env::var();").is_empty());
+    }
+
+    #[test]
+    fn d004_rand() {
+        assert_eq!(
+            sim("let r = rand::thread_rng();"),
+            [("D004".to_string(), 1)]
+        );
+        assert_eq!(sim("use rand::Rng;"), [("D004".to_string(), 1)]);
+        // Our own rng module is fine.
+        assert!(sim("use simcore::rng::Pcg32;").is_empty());
+        // A field access named rand is fine.
+        assert!(sim("let x = cfg.rand;").is_empty());
+    }
+
+    #[test]
+    fn u001_u002_params() {
+        assert_eq!(
+            sim("fn set_budget(budget_w: f64) {}"),
+            [("U001".to_string(), 1)]
+        );
+        assert_eq!(
+            sim("fn flat_template(watts: f64) {}"),
+            [("U001".to_string(), 1)]
+        );
+        assert_eq!(sim("fn cap(freq_mhz: u32) {}"), [("U002".to_string(), 1)]);
+        // Newtyped versions are clean.
+        assert!(sim("fn set_budget(budget: Watts) {}").is_empty());
+        assert!(sim("fn cap(freq: MegaHertz) {}").is_empty());
+        // Dimensionless names are clean even as f64.
+        assert!(sim("fn scale(power_scale_factor: f64, util: f64) {}").is_empty());
+        // Aggregates are out of scope.
+        assert!(sim("fn series(power_samples: Vec<f64>) {}").is_empty());
+    }
+
+    #[test]
+    fn u003_fields() {
+        assert_eq!(
+            sim("struct Server { budget_w: f64, name: String }"),
+            [("U003".to_string(), 1)]
+        );
+        assert_eq!(
+            sim("struct Plan {\n    pub base_freq: u32,\n}"),
+            [("U003".to_string(), 2)]
+        );
+        assert!(sim("struct Server { budget: Watts }").is_empty());
+    }
+
+    #[test]
+    fn r001_unwrap_outside_tests_only() {
+        let flagged = lint_src(
+            "analyze",
+            "crates/analyze/src/x.rs",
+            "fn f() { x.unwrap(); }",
+        );
+        assert_eq!(flagged, [("R001".to_string(), 1)]);
+        let in_test = lint_src(
+            "analyze",
+            "crates/analyze/src/x.rs",
+            "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }",
+        );
+        assert!(in_test.is_empty());
+        // Bin targets are exempt.
+        assert!(lint_src(
+            "analyze",
+            "crates/analyze/src/bin/t.rs",
+            "fn f() { x.unwrap(); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn r001_expect_needs_a_string_message() {
+        assert_eq!(
+            sim("fn f() { x.expect(\"msg\"); }"),
+            [("R001".to_string(), 1)]
+        );
+        // A method named expect taking a non-string is not Option::expect.
+        assert!(sim("fn f() { self.expect(b'{'); }").is_empty());
+        assert!(sim("fn f() { parser.expect(Token::Brace); }").is_empty());
+    }
+
+    #[test]
+    fn r002_panic_family() {
+        assert_eq!(
+            sim("fn f() { panic!(\"boom\") }"),
+            [("R002".to_string(), 1)]
+        );
+        assert_eq!(sim("fn f() { todo!() }"), [("R002".to_string(), 1)]);
+        // std::panic::catch_unwind is not the macro.
+        assert!(sim("fn f() { std::panic::catch_unwind(g); }").is_empty());
+    }
+
+    #[test]
+    fn r003_lossy_casts() {
+        assert_eq!(sim("let t = now_s as u64;"), [("R003".to_string(), 1)]);
+        assert_eq!(sim("let w = power as u32;"), [("R003".to_string(), 1)]);
+        // Float→float is a widening, not a truncation.
+        assert!(sim("let w = power as f64;").is_empty());
+        assert!(sim("let n = count as u64;").is_empty());
+    }
+
+    #[test]
+    fn emitted_ids_are_cataloged() {
+        let everything = "use std::collections::HashMap;\nlet t = Instant::now();\n\
+                          let v = std::env::var(\"X\");\nlet r = thread_rng();\n\
+                          fn f(budget_w: f64, freq_mhz: u32) {}\nstruct S { power: f64 }\n\
+                          fn g() { x.unwrap(); panic!(); let t = now_s as u64; }";
+        for (id, _) in sim(everything) {
+            assert!(catalog::lint(&id).is_some(), "{id} missing from catalog");
+        }
+    }
+
+    #[test]
+    fn one_diagnostic_per_lint_per_line() {
+        assert_eq!(
+            sim("let m: HashMap<u32, HashMap<u32, u32>> = HashMap::new();").len(),
+            1
+        );
+    }
+}

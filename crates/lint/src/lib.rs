@@ -1,0 +1,44 @@
+//! `soc-lint` — determinism- and unit-safety static analysis for the
+//! SmartOClock workspace.
+//!
+//! Two invariants make this reproduction trustworthy and neither is checked
+//! by the compiler:
+//!
+//! 1. **Bit-determinism per seed.** Causal-trace diffs (`soc-analyze diff`)
+//!    only mean anything because two runs with the same seed are
+//!    byte-identical. One `HashMap` iteration, `Instant::now()`, or
+//!    `thread_rng()` in simulation state silently breaks that.
+//! 2. **Unit safety.** Admission control and budget enforcement are
+//!    watt/megahertz arithmetic end to end; a raw `f64` watt parameter is
+//!    one call site away from a mis-scaled budget that quietly disables
+//!    capping.
+//!
+//! `soc-lint` walks every `crates/*/src/**/*.rs`, tokenizes it with a small
+//! hand-rolled lexer ([`lexer`]), and enforces the catalog in [`catalog`]:
+//! D-lints (determinism), U-lints (units), R-lints (robustness), each a
+//! token-pattern query in [`checks`]. Pre-existing violations ratchet down
+//! through `lint.toml` ([`allowlist`]): every waiver carries a written
+//! justification and stale waivers are reported for deletion.
+//!
+//! ```text
+//! cargo run -p soc-lint -- check          # human diagnostics, exit 1 on violations
+//! cargo run -p soc-lint -- json           # same check, JSON report on stdout
+//! cargo run -p soc-lint -- list           # the lint catalog with rationales
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod catalog;
+pub mod checks;
+pub mod lexer;
+pub mod report;
+pub mod source;
+pub mod workspace;
+
+pub use allowlist::{AllowEntry, Allowlist};
+pub use catalog::{lint, Category, LintInfo, CATALOG};
+pub use checks::{check_file, Diagnostic, SIM_STATE_CRATES};
+pub use report::{render_catalog, CheckReport};
+pub use source::SourceFile;
+pub use workspace::{run_check, workspace_files};

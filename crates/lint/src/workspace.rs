@@ -1,0 +1,100 @@
+//! Workspace walking and the top-level check runner.
+
+use crate::allowlist::Allowlist;
+use crate::checks::{self, Diagnostic};
+use crate::report::CheckReport;
+use crate::source::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A source file scheduled for linting.
+pub struct WorkspaceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Directory name under `crates/`.
+    pub crate_name: String,
+    /// Absolute path for reading.
+    pub abs_path: PathBuf,
+}
+
+/// Enumerate every `crates/*/src/**/*.rs` under `root`, sorted by relative
+/// path so diagnostics and reports are byte-stable across filesystems.
+pub fn workspace_files(root: &Path) -> Result<Vec<WorkspaceFile>, String> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let crate_dirs =
+        fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+    for entry in crate_dirs {
+        let entry = entry.map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        let crate_path = entry.path();
+        if !crate_path.is_dir() {
+            continue;
+        }
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        let src = crate_path.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files, &crate_name, root)?;
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<WorkspaceFile>,
+    crate_name: &str,
+    root: &Path,
+) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out, crate_name, root)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace root", path.display()))?;
+            let rel_path = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(WorkspaceFile {
+                rel_path,
+                crate_name: crate_name.to_string(),
+                abs_path: path,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lint every workspace file under `root`, filtered through the allowlist at
+/// `allowlist_path` when it exists (a missing allowlist means nothing is
+/// waived, not an error — a fresh checkout with no `lint.toml` still checks).
+pub fn run_check(root: &Path, allowlist_path: &Path) -> Result<CheckReport, String> {
+    let allowlist = if allowlist_path.exists() {
+        let text = fs::read_to_string(allowlist_path)
+            .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
+        Allowlist::parse(&text)?
+    } else {
+        Allowlist::default()
+    };
+    let files = workspace_files(root)?;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(&file.abs_path)
+            .map_err(|e| format!("{}: {e}", file.abs_path.display()))?;
+        let src = SourceFile::parse(&file.rel_path, &file.crate_name, &text);
+        diags.extend(checks::check_file(&src));
+    }
+    let (blocking, waived, stale) = allowlist.apply(diags);
+    Ok(CheckReport {
+        blocking,
+        waived,
+        stale: stale.into_iter().cloned().collect(),
+        files: files.len(),
+    })
+}

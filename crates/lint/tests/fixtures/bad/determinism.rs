@@ -1,0 +1,29 @@
+//! Known-bad fixture: every determinism lint fires in here. The expected
+//! diagnostics are pinned in `determinism.expected`; this file is never
+//! compiled (it lives under tests/fixtures, not in any crate's src tree).
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::Instant;
+use rand::Rng;
+
+struct SimState {
+    table: HashMap<u32, u32>,
+    seen: HashSet<u32>,
+}
+
+fn wall_clock_tick() -> u64 {
+    let started = Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let _ = (started, stamp);
+    0
+}
+
+fn configured_mode() -> String {
+    std::env::var("SOC_MODE").unwrap_or_default()
+}
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,36 @@
+//! Known-bad fixture: robustness lints in library (non-test) code, with a
+//! test module at the bottom proving the same patterns are allowed there.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+pub fn must_have(v: Option<u32>) -> u32 {
+    v.expect("value is always present")
+}
+
+pub fn not_done() {
+    todo!()
+}
+
+pub fn impossible(state: u32) {
+    if state > 3 {
+        panic!("state out of range");
+    }
+    unimplemented!()
+}
+
+pub fn truncate(now_s: f64, power: f64) -> (u64, u32) {
+    (now_s as u64, power as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let r: Result<u32, ()> = Ok(4);
+        assert_eq!(r.expect("test expects are allowed"), 4);
+    }
+}

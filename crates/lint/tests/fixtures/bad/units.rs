@@ -1,0 +1,31 @@
+//! Known-bad fixture: unit-safety lints. Raw floats and integers carrying
+//! watt/megahertz quantities that should be `power::units` newtypes.
+
+pub struct ServerConfig {
+    pub budget_w: f64,
+    pub base_freq: u32,
+    pub name: String,
+}
+
+pub fn set_power_budget(budget_w: f64) {
+    let _ = budget_w;
+}
+
+pub fn admit(power: f64, watts_delta: f64) -> bool {
+    power + watts_delta < 450.0
+}
+
+pub fn cap_frequency(freq_mhz: u32, target_frequency: f64) -> u32 {
+    let _ = target_frequency;
+    freq_mhz
+}
+
+// Clean shapes the lints must NOT fire on: dimensionless ratios, aggregates,
+// and already-newtyped parameters.
+pub fn scale(power_scale_factor: f64, utilization: f64) -> f64 {
+    power_scale_factor * utilization
+}
+
+pub fn series(power_samples: Vec<f64>) -> usize {
+    power_samples.len()
+}

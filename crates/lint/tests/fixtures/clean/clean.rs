@@ -1,0 +1,48 @@
+//! Known-clean fixture: the deterministic, unit-safe shapes the lints
+//! steer toward. soc-lint must report nothing here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Server {
+    pub budget: Watts,
+    pub base: MegaHertz,
+    pub grants: BTreeMap<u64, u64>,
+    pub seen: BTreeSet<u64>,
+}
+
+pub fn admit(budget: Watts, draw: Watts) -> Result<Watts, String> {
+    let headroom = budget - draw;
+    if headroom.get() < 0.0 {
+        return Err("over budget".to_string());
+    }
+    Ok(headroom)
+}
+
+pub fn cap(freq: MegaHertz, limit: MegaHertz) -> MegaHertz {
+    freq.min(limit)
+}
+
+pub fn utilization_ratio(busy: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        busy / total
+    } else {
+        0.0
+    }
+}
+
+pub fn draw_from_seeded_stream(rng: &mut Pcg32) -> f64 {
+    rng.next_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        match v {
+            Some(1) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Golden fixture tests for `soc-lint`, mirroring `crates/analyze/tests/golden.rs`.
+//!
+//! `fixtures/bad/*.rs` are known-bad sources (never compiled — they live
+//! outside any src tree); each has a committed `.expected` file pinning the
+//! exact diagnostics as `line lint-id` pairs. `fixtures/clean/clean.rs`
+//! must produce nothing. An intentional lint change must regenerate the
+//! `.expected` files (the assertion message shows the new output).
+//!
+//! The self-check test then lints the real workspace and asserts it is
+//! clean modulo `lint.toml` — the same gate CI enforces — so a regression
+//! anywhere in the tree fails here first.
+
+use soc_lint::{check_file, run_check, SourceFile};
+use std::path::Path;
+
+/// Lint `source` as if it were `crates/<crate_name>/src/fixture.rs` and
+/// render one `line lint-id` pair per diagnostic.
+fn render(crate_name: &str, source: &str) -> String {
+    let path = format!("crates/{crate_name}/src/fixture.rs");
+    let sf = SourceFile::parse(&path, crate_name, source);
+    let mut out = String::new();
+    for d in check_file(&sf) {
+        out.push_str(&format!("{} {}\n", d.line, d.lint));
+    }
+    out
+}
+
+fn assert_golden(name: &str, crate_name: &str, source: &str, expected: &str) {
+    let got = render(crate_name, source);
+    assert_eq!(
+        got, expected,
+        "fixtures/bad/{name}.expected drifted; if the lint change is \
+         intentional, update the expected file to:\n{got}"
+    );
+}
+
+#[test]
+fn determinism_fixture_matches_golden() {
+    // Scanned as a sim-state crate so the D-lints apply.
+    assert_golden(
+        "determinism",
+        "power",
+        include_str!("fixtures/bad/determinism.rs"),
+        include_str!("fixtures/bad/determinism.expected"),
+    );
+}
+
+#[test]
+fn units_fixture_matches_golden() {
+    assert_golden(
+        "units",
+        "power",
+        include_str!("fixtures/bad/units.rs"),
+        include_str!("fixtures/bad/units.expected"),
+    );
+}
+
+#[test]
+fn robustness_fixture_matches_golden() {
+    // Scanned as a non-sim crate: R-lints apply everywhere.
+    assert_golden(
+        "robustness",
+        "analyze",
+        include_str!("fixtures/bad/robustness.rs"),
+        include_str!("fixtures/bad/robustness.expected"),
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let got = render("power", include_str!("fixtures/clean/clean.rs"));
+    assert_eq!(got, "", "the clean fixture must produce no diagnostics");
+}
+
+#[test]
+fn bad_fixtures_cover_at_least_eight_lint_ids() {
+    let mut ids: Vec<String> = Vec::new();
+    for (crate_name, source) in [
+        ("power", include_str!("fixtures/bad/determinism.rs")),
+        ("power", include_str!("fixtures/bad/units.rs")),
+        ("analyze", include_str!("fixtures/bad/robustness.rs")),
+    ] {
+        let sf = SourceFile::parse("crates/x/src/fixture.rs", crate_name, source);
+        ids.extend(check_file(&sf).into_iter().map(|d| d.lint.to_string()));
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert!(
+        ids.len() >= 8,
+        "bad fixtures must exercise at least 8 distinct lints, got {ids:?}"
+    );
+}
+
+/// The real workspace is lint-clean modulo lint.toml, with no stale waivers.
+#[test]
+fn workspace_self_check() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint");
+    let report = run_check(root, &root.join("lint.toml")).expect("workspace scan succeeds");
+    assert!(
+        report.files > 50,
+        "expected to scan the whole workspace, saw only {} files",
+        report.files
+    );
+    let rendered: Vec<String> = report
+        .blocking
+        .iter()
+        .map(|d| format!("{}:{}: {} {}", d.path, d.line, d.lint, d.message))
+        .collect();
+    assert!(
+        report.blocking.is_empty(),
+        "workspace has non-allowlisted lint violations:\n{}",
+        rendered.join("\n")
+    );
+    let stale: Vec<String> = report
+        .stale
+        .iter()
+        .map(|e| format!("{} {}", e.lint, e.path))
+        .collect();
+    assert!(
+        report.stale.is_empty(),
+        "lint.toml has stale waivers (delete them): {stale:?}"
+    );
+}

@@ -174,16 +174,16 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn rack_with_servers(n: usize, per_server: f64, rack_budget: f64) -> PowerNode {
+    fn rack_with_servers(n: usize, per_server: Watts, rack_budget: Watts) -> PowerNode {
         let children = (0..n)
-            .map(|i| PowerNode::leaf(format!("server{i}"), Watts::new(per_server)))
+            .map(|i| PowerNode::leaf(format!("server{i}"), per_server))
             .collect();
-        PowerNode::with_children("rack", Watts::new(rack_budget), children)
+        PowerNode::with_children("rack", rack_budget, children)
     }
 
     #[test]
     fn oversubscription_ratio() {
-        let rack = rack_with_servers(4, 400.0, 1200.0);
+        let rack = rack_with_servers(4, Watts::new(400.0), Watts::new(1200.0));
         assert!((rack.oversubscription() - 4.0 * 400.0 / 1200.0).abs() < 1e-12);
         let leaf = PowerNode::leaf("s", Watts::new(400.0));
         assert_eq!(leaf.oversubscription(), 1.0);
@@ -191,14 +191,14 @@ mod tests {
 
     #[test]
     fn even_split_divides_equally() {
-        let rack = rack_with_servers(4, 400.0, 1200.0);
+        let rack = rack_with_servers(4, Watts::new(400.0), Watts::new(1200.0));
         assert_eq!(rack.even_split(), vec![Watts::new(300.0); 4]);
     }
 
     #[test]
     fn leaf_count_recurses() {
-        let rack1 = rack_with_servers(3, 1.0, 10.0);
-        let rack2 = rack_with_servers(2, 1.0, 10.0);
+        let rack1 = rack_with_servers(3, Watts::new(1.0), Watts::new(10.0));
+        let rack2 = rack_with_servers(2, Watts::new(1.0), Watts::new(10.0));
         let row = PowerNode::with_children("row", Watts::new(15.0), vec![rack1, rack2]);
         assert_eq!(row.leaf_count(), 5);
     }

@@ -19,6 +19,8 @@
 //! * [`hierarchy`] — the datacenter power-delivery tree with even or
 //!   heterogeneous budget splits (§II, §IV-C).
 
+#![forbid(unsafe_code)]
+
 pub mod freq;
 pub mod hierarchy;
 pub mod model;

@@ -14,6 +14,8 @@
 //!   week, score it on the next, exactly as deployed (§IV-B), producing the
 //!   RMSE and mean-error distributions of Figs. 8 and 15.
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod template;
 

@@ -25,6 +25,8 @@
 //!   find-another-core exploration the sOA performs when a core's budget is
 //!   exhausted (§IV-D).
 
+#![forbid(unsafe_code)]
+
 pub mod budget;
 pub mod counters;
 pub mod thermal;

@@ -138,7 +138,9 @@ impl<E> Engine<E> {
             if t >= horizon {
                 break;
             }
-            let (t, event) = self.queue.pop().expect("peeked event must exist");
+            let Some((t, event)) = self.queue.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now, "event queue returned a past event");
             self.now = t;
             self.processed += 1;

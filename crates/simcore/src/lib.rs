@@ -27,6 +27,8 @@
 //! assert!(p99 > 0.9 && p99 <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod event;
 pub mod hist;

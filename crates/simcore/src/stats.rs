@@ -25,8 +25,9 @@ use serde::{Deserialize, Serialize};
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of an empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    assert!(xs.iter().all(|x| !x.is_nan()), "NaN in percentile input");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     percentile_of_sorted(&sorted, p)
 }
 
@@ -130,8 +131,9 @@ impl Ecdf {
     /// Panics if `samples` is empty or contains NaN.
     pub fn from_samples(samples: &[f64]) -> Ecdf {
         assert!(!samples.is_empty(), "ECDF of an empty sample set");
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN in ECDF input");
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        sorted.sort_by(f64::total_cmp);
         Ecdf { sorted }
     }
 

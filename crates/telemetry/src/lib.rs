@@ -29,6 +29,8 @@
 //! assert_eq!(sink.named("oc_grant").len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod json;
 pub mod metrics;

@@ -23,6 +23,8 @@
 //!   statistics the figures plot.
 //! * [`io`] — CSV import/export for all containers.
 
+#![forbid(unsafe_code)]
+
 pub mod fleet;
 pub mod gen;
 pub mod io;

@@ -22,6 +22,8 @@
 //! * [`loadgen`] — piecewise-constant arrival-rate schedules, including
 //!   diurnal and spike patterns derived from `soc-traces` shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod loadgen;
 pub mod microservice;
 pub mod mltrain;

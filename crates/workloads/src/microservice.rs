@@ -320,7 +320,9 @@ impl MicroserviceSim {
             if t > until {
                 break;
             }
-            let (t, event) = self.queue.pop().expect("peeked event exists");
+            let Some((t, event)) = self.queue.pop() else {
+                break;
+            };
             self.integrate_busy(t);
             self.now = t;
             match event {
@@ -394,7 +396,9 @@ impl MicroserviceSim {
     }
 
     fn route(&mut self, req: Request) {
-        // Least-loaded active VM, normalized by core count.
+        // Least-loaded active VM, normalized by core count. At least one VM
+        // is always active (deactivation never empties the set), so a missing
+        // target means a construction bug — assert rather than route wrong.
         let target = self
             .vms
             .iter()
@@ -403,10 +407,13 @@ impl MicroserviceSim {
             .min_by(|(_, a), (_, b)| {
                 let la = (a.busy + a.queue.len()) as f64 / self.spec.cores_per_vm as f64;
                 let lb = (b.busy + b.queue.len()) as f64 / self.spec.cores_per_vm as f64;
-                la.partial_cmp(&lb).expect("loads are finite")
+                la.total_cmp(&lb)
             })
-            .map(|(i, _)| i)
-            .expect("at least one active VM");
+            .map(|(i, _)| i);
+        let Some(target) = target else {
+            debug_assert!(false, "no active VM to route to");
+            return;
+        };
         if self.vms[target].busy < self.spec.cores_per_vm {
             self.dispatch(target, req);
         } else {
