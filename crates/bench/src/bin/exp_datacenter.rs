@@ -7,6 +7,7 @@
 //! against *nested* admission (the §IV-C split applied at the feed first):
 //! flat racks can each look healthy while their sum overloads the feed.
 
+use simcore::par;
 use simcore::report::{fmt_pct, Table};
 use simcore::time::SimDuration;
 use soc_bench::Cli;
@@ -21,7 +22,14 @@ fn main() {
         "grants (flat)",
         "grants (nested)",
     ]);
-    for feed_fraction in [0.72, 0.66, 0.60] {
+    // The feed fractions are independent simulations: shard across workers
+    // and collect in sweep order so rows land byte-identically.
+    let fractions = vec![0.72, 0.66, 0.60];
+    eprintln!(
+        "simulating feeds at {fractions:?} ({} threads)...",
+        cli.effective_threads()
+    );
+    let outcomes = par::par_map(cli.effective_threads(), fractions, |_, feed_fraction| {
         let cfg = DatacenterConfig {
             racks: if cli.fast { 4 } else { 12 },
             feed_fraction,
@@ -29,8 +37,9 @@ fn main() {
             step: SimDuration::from_minutes(15),
             seed: cli.seed,
         };
-        eprintln!("simulating feed at {feed_fraction}...");
-        let o = simulate_datacenter(&cfg);
+        (feed_fraction, simulate_datacenter(&cfg))
+    });
+    for (feed_fraction, o) in outcomes {
         t.row(&[
             fmt_pct(feed_fraction),
             format!("{}/{}", o.feed_overloads_flat, o.steps),

@@ -9,13 +9,14 @@
 use simcore::report::{fmt_f64, Table};
 use simcore::time::SimDuration;
 use soc_bench::{pct_change, Cli};
-use soc_cluster::harness::{ClusterConfig, ClusterSim, SystemKind};
+use soc_cluster::harness::{ClusterConfig, SystemKind};
+use soc_cluster::shard::run_cluster_sims;
 use soc_workloads::socialnet::LoadLevel;
 
 fn main() {
     let cli = Cli::from_env();
     let telemetry = cli.telemetry();
-    let run = |system: SystemKind| {
+    let config_for = |system: SystemKind| {
         let mut cfg = ClusterConfig::paper_reference(system);
         cfg.seed = cli.seed;
         cfg.rack_limit_scale = 0.82; // constrained rack: ~2.5% headroom over steady draw
@@ -25,11 +26,27 @@ fn main() {
             cfg.mltrain_servers = 6;
             cfg.spare_servers = 3;
         }
-        eprintln!("running {system} under a constrained rack limit...");
-        ClusterSim::with_telemetry(cfg, telemetry.clone()).run()
+        cfg
     };
-    let naive = run(SystemKind::NaiveOClock);
-    let smart = run(SystemKind::SmartOClock);
+    // The two systems are independent simulations: shard them across
+    // workers; results come back in config order regardless of --threads.
+    let threads = cli.effective_threads();
+    eprintln!(
+        "running NaiveOClock and SmartOClock under a constrained rack limit ({threads} threads)..."
+    );
+    let mut results = run_cluster_sims(
+        vec![
+            config_for(SystemKind::NaiveOClock),
+            config_for(SystemKind::SmartOClock),
+        ],
+        &telemetry,
+        threads,
+    )
+    .into_iter();
+    let (Some(naive), Some(smart)) = (results.next(), results.next()) else {
+        eprintln!("error: cluster simulations returned fewer results than configs");
+        std::process::exit(1);
+    };
 
     let mut t = Table::new(&["metric", "NaiveOClock", "SmartOClock", "delta"]);
     for load in [LoadLevel::Medium, LoadLevel::High] {

@@ -6,6 +6,7 @@
 //! * Fig. 17 — Service C's 5-minute peak utilization over a weekday, with
 //!   overclocking reducing peaks by ~16 %.
 
+use simcore::par;
 use simcore::report::{fmt_f64, fmt_pct, Table};
 use simcore::time::{SimDuration, SimTime};
 use soc_bench::{pct_change, Cli};
@@ -36,24 +37,34 @@ fn main() {
     ]);
     let mut peak_base = 0.0;
     let mut peak_oc = 0.0;
-    for rps_k in [0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8] {
-        let per_vm = rps_k * 1000.0 / vms;
-        let base = run_at_rate(
-            &spec,
-            per_vm,
-            Environment::Baseline,
-            plan,
-            measure,
-            cli.seed,
-        );
-        let oc = run_at_rate(
-            &spec,
-            per_vm,
-            Environment::Overclock,
-            plan,
-            measure,
-            cli.seed,
-        );
+    // Rate points are independent runs; shard them across workers and
+    // collect in sweep order (byte-identical output for any --threads).
+    let threads = cli.effective_threads();
+    let sweep = par::par_map(
+        threads,
+        vec![0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8],
+        |_, rps_k| {
+            let per_vm = rps_k * 1000.0 / vms;
+            let base = run_at_rate(
+                &spec,
+                per_vm,
+                Environment::Baseline,
+                plan,
+                measure,
+                cli.seed,
+            );
+            let oc = run_at_rate(
+                &spec,
+                per_vm,
+                Environment::Overclock,
+                plan,
+                measure,
+                cli.seed,
+            );
+            (rps_k, base, oc)
+        },
+    );
+    for (rps_k, base, oc) in sweep {
         if rps_k == 1.8 {
             peak_base = base.cpu_utilization;
             peak_oc = oc.cpu_utilization;
@@ -73,18 +84,25 @@ fn main() {
     // Iso-utilization throughput: what RPS does the baseline need to match
     // the overclocked deployment's utilization at 1.8k?
     let mut iso_rps = 0.0;
-    for rps in (600..=1800).step_by(50) {
-        let per_vm = rps as f64 / vms;
-        let r = run_at_rate(
-            &spec,
-            per_vm,
-            Environment::Baseline,
-            plan,
-            measure,
-            cli.seed,
-        );
-        if r.cpu_utilization <= peak_oc {
-            iso_rps = rps as f64;
+    let iso_sweep = par::par_map(
+        threads,
+        (600..=1800).step_by(50).collect(),
+        |_, rps: i32| {
+            let per_vm = f64::from(rps) / vms;
+            let r = run_at_rate(
+                &spec,
+                per_vm,
+                Environment::Baseline,
+                plan,
+                measure,
+                cli.seed,
+            );
+            (f64::from(rps), r.cpu_utilization)
+        },
+    );
+    for (rps, util) in iso_sweep {
+        if util <= peak_oc {
+            iso_rps = rps;
         }
     }
     println!(

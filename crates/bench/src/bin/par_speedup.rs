@@ -1,0 +1,79 @@
+//! Sharded-execution speedup benchmark.
+//!
+//! Times the large-scale policy simulation at `--threads 1` and at the
+//! requested (default: auto) thread count, checks the outcomes are
+//! identical, and writes a small JSON summary for CI artifact upload.
+//!
+//! The speedup figure is only meaningful on multi-core hardware; the JSON
+//! records `cores` so consumers can judge the number in context.
+
+use simcore::par;
+use smartoclock::policy::PolicyKind;
+use soc_bench::Cli;
+use soc_cluster::largescale::LargeScaleConfig;
+use soc_cluster::shard::simulate_policy_sharded;
+use soc_telemetry::Telemetry;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let cli = Cli::from_env();
+    let out = out_path();
+    let racks = if cli.fast { 8 } else { 32 };
+    let mut config = LargeScaleConfig::bench_reference(racks);
+    config.seed = cli.seed;
+    if cli.fast {
+        config.weeks = 2;
+        config.step = simcore::time::SimDuration::from_minutes(15);
+    }
+    let threads = cli.effective_threads().max(2);
+    let telemetry = Telemetry::disabled();
+
+    eprintln!("timing {racks} racks serial (1 thread)...");
+    let t0 = Instant::now();
+    let serial = simulate_policy_sharded(&config, PolicyKind::SmartOClock, &telemetry, 1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    eprintln!("timing {racks} racks sharded ({threads} threads)...");
+    let t1 = Instant::now();
+    let sharded = simulate_policy_sharded(&config, PolicyKind::SmartOClock, &telemetry, threads);
+    let sharded_secs = t1.elapsed().as_secs_f64();
+
+    let identical = serial == sharded;
+    let speedup = serial_secs / sharded_secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"experiment\": \"par_speedup\",\n  \"racks\": {racks},\n  \
+         \"weeks\": {},\n  \"cores\": {},\n  \"threads\": {threads},\n  \
+         \"serial_secs\": {serial_secs:.3},\n  \"sharded_secs\": {sharded_secs:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \"outcomes_identical\": {identical}\n}}\n",
+        config.weeks,
+        par::available_parallelism(),
+    );
+    match std::fs::write(&out, &json) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", out.display()),
+    }
+    print!("{json}");
+    println!(
+        "speedup at {threads} threads on {} core(s): {speedup:.2}x (outcomes identical: {identical})",
+        par::available_parallelism()
+    );
+    if !identical {
+        eprintln!("error: sharded outcomes diverged from serial");
+        std::process::exit(1);
+    }
+}
+
+/// `--out <path>` is specific to this binary; parse it directly from the
+/// raw args (the shared [`Cli`] ignores flags it does not know).
+fn out_path() -> PathBuf {
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            if let Some(v) = iter.next() {
+                return PathBuf::from(v);
+            }
+        }
+    }
+    PathBuf::from("par_speedup.json")
+}

@@ -13,8 +13,9 @@
 use simcore::report::{fmt_f64, fmt_pct, Table};
 use smartoclock::policy::PolicyKind;
 use soc_bench::Cli;
-use soc_cluster::largescale::{simulate_policy_traced, LargeScaleConfig};
+use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::{power_groups, PolicyMetrics, RackOutcome};
+use soc_cluster::shard::simulate_policy_sharded;
 use std::collections::HashMap;
 
 fn main() {
@@ -27,12 +28,16 @@ fn main() {
         config.step = simcore::time::SimDuration::from_minutes(15);
     }
 
-    // Run every policy over the same fleet.
+    // Run every policy over the same fleet, racks sharded across workers.
     let telemetry = cli.telemetry();
+    let threads = cli.effective_threads();
     let mut outcomes: HashMap<PolicyKind, Vec<RackOutcome>> = HashMap::new();
     for policy in PolicyKind::ALL {
-        eprintln!("simulating {policy} over {racks} racks...");
-        outcomes.insert(policy, simulate_policy_traced(&config, policy, &telemetry));
+        eprintln!("simulating {policy} over {racks} racks ({threads} threads)...");
+        outcomes.insert(
+            policy,
+            simulate_policy_sharded(&config, policy, &telemetry, threads),
+        );
     }
 
     // Group racks by power (terciles of mean utilization), using the

@@ -13,6 +13,9 @@
 //! * `--analyze` — after the run, analyze the trace with `soc-analyze` and
 //!   print the full report to stdout.
 //! * `--report-out <path>` — write that report to a file instead.
+//! * `--threads <n>` — worker threads for the sharded simulation paths
+//!   (`simcore::par`). Defaults to the machine's available parallelism;
+//!   results are byte-identical for every value (`1` forces serial).
 //!
 //! `--analyze` / `--report-out` without a trace path trace to a temporary
 //! file so the analysis still has input.
@@ -42,6 +45,11 @@ pub struct Cli {
     pub analyze: bool,
     /// Write the `soc-analyze` report to this path (`--report-out`).
     pub report_out: Option<PathBuf>,
+    /// Worker threads for sharded simulation paths (`--threads`); `0` means
+    /// "use the machine's available parallelism". Use
+    /// [`Cli::effective_threads`] to resolve. Thread count never changes
+    /// results — only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for Cli {
@@ -53,6 +61,7 @@ impl Default for Cli {
             trace_out: None,
             analyze: false,
             report_out: None,
+            threads: 0,
         }
     }
 }
@@ -109,10 +118,23 @@ impl Cli {
                 "--trace-out" => cli.trace_out = iter.next().map(PathBuf::from),
                 "--analyze" => cli.analyze = true,
                 "--report-out" => cli.report_out = iter.next().map(PathBuf::from),
+                "--threads" => {
+                    if let Some(v) = iter.next() {
+                        if let Ok(threads) = v.parse() {
+                            cli.threads = threads;
+                        }
+                    }
+                }
                 _ => {}
             }
         }
         cli
+    }
+
+    /// Resolved worker-thread count: the `--threads` value, or the
+    /// machine's available parallelism when the flag was absent (`0`).
+    pub fn effective_threads(&self) -> usize {
+        simcore::par::resolve_threads(self.threads)
     }
 
     /// The telemetry handle implied by `--trace-out` / `SOC_TRACE`: a JSONL
@@ -218,6 +240,19 @@ mod tests {
         assert_eq!(cli.seed, 7);
         assert!(cli.fast);
         assert_eq!(cli.csv.unwrap().to_str().unwrap(), "/tmp/out.csv");
+    }
+
+    #[test]
+    fn parses_threads_and_resolves_auto() {
+        let cli = parse(&["--threads", "4"]);
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.effective_threads(), 4);
+        let auto = parse(&[]);
+        assert_eq!(auto.threads, 0);
+        assert_eq!(
+            auto.effective_threads(),
+            simcore::par::available_parallelism()
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@
 pub use crate::largescale_metrics::{PolicyMetrics, RackOutcome};
 use serde::{Deserialize, Serialize};
 use simcore::time::{SimDuration, SimTime};
+use smartoclock::epoch::EpochTracker;
 use smartoclock::policy::PolicyKind;
 use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
 use soc_power::model::PowerModel;
@@ -25,7 +26,7 @@ use soc_power::units::Watts;
 use soc_predict::template::{PowerTemplate, TemplateKind};
 use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_traces::fleet::RackTrace;
-use soc_traces::gen::{FleetConfig, TraceGenerator};
+use soc_traces::gen::FleetConfig;
 
 /// Configuration of the large-scale simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,7 +82,7 @@ impl LargeScaleConfig {
         }
     }
 
-    fn fleet_config(&self) -> FleetConfig {
+    pub(crate) fn fleet_config(&self) -> FleetConfig {
         FleetConfig {
             region: "largescale".into(),
             racks: self.racks,
@@ -128,6 +129,11 @@ pub fn simulate_policy(config: &LargeScaleConfig, policy: PolicyKind) -> Vec<Rac
 /// `rack_sim_end` events plus per-step `rack_capping` warnings under
 /// [`Component::Sim`], and per-policy request/grant/capping counters.
 ///
+/// Delegates to [`crate::shard::simulate_policy_sharded`] with a single
+/// worker, so the serial path and the `--threads N` path are the same code
+/// and byte-identical by construction (per-rack buffered telemetry with
+/// deterministic id bases, merged in rack order).
+///
 /// # Panics
 /// Panics if `config.weeks < 2` or `config.racks == 0`.
 pub fn simulate_policy_traced(
@@ -135,20 +141,7 @@ pub fn simulate_policy_traced(
     policy: PolicyKind,
     telemetry: &Telemetry,
 ) -> Vec<RackOutcome> {
-    assert!(
-        config.weeks >= 2,
-        "need at least one training and one evaluation week"
-    );
-    assert!(config.racks > 0, "need at least one rack");
-    let generator = TraceGenerator::new(config.seed);
-    let fleet_cfg = config.fleet_config();
-    (0..config.racks)
-        .map(|r| {
-            let rack = generator.generate_rack(&fleet_cfg, r);
-            let model = generator.model_for(rack.generation);
-            simulate_rack_traced(config, policy, &rack, &model, telemetry)
-        })
-        .collect()
+    crate::shard::simulate_policy_sharded(config, policy, telemetry, 1)
 }
 
 /// Simulate one rack under one policy.
@@ -203,7 +196,7 @@ pub fn simulate_rack_traced(
     let mut monitor = RackMonitor::new(rack.limit, 0.95);
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
     let mut warned_last_step = false;
-    let mut current_week = 0u64;
+    let mut epochs = EpochTracker::weekly();
     let sim_decision = telemetry.next_id();
     tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
         "rack" => rack.index,
@@ -214,9 +207,11 @@ pub fn simulate_rack_traced(
 
     let mut t = train_end;
     while t < trace_end {
-        // Weekly epoch: refresh budgets and lifetime allowances.
-        if t.week_index() != current_week {
-            current_week = t.week_index();
+        // Weekly epoch boundary: refresh lifetime allowances. This is the
+        // only cross-step coupling point; between boundaries every rack
+        // evolves independently, which is what lets the sharded engine
+        // (`crate::shard`) deal whole racks across worker threads.
+        if epochs.advance(t).is_some() {
             for s in &mut servers {
                 s.oc_remaining = weekly_allowance;
             }

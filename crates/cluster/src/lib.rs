@@ -18,6 +18,10 @@
 //!   hundreds of racks replaying synthetic production traces under the five
 //!   policies of Table I, counting power-capping events, overclocking
 //!   success rates, capping penalties, and normalized performance.
+//! * [`shard`] — rack-sharded parallel execution of the large-scale sim:
+//!   racks dealt across a `simcore::par` worker pool with per-shard RNG
+//!   streams and buffered telemetry, merged in canonical rack order so
+//!   `--threads N` runs are byte-identical to `--threads 1`.
 //! * [`ageing`] — the overclocking policies of Fig. 7 (non-overclocked,
 //!   always-overclock, overclock-aware) evaluated over a utilization trace
 //!   with the `soc-reliability` wear model.
@@ -32,7 +36,9 @@ pub mod envs;
 pub mod harness;
 pub mod largescale;
 pub mod largescale_metrics;
+pub mod shard;
 
 pub use envs::{run_environment, Environment, ServiceRunResult};
 pub use harness::{ClusterConfig, ClusterResult, ClusterSim, SystemKind};
 pub use largescale::{simulate_policy, LargeScaleConfig, PolicyMetrics};
+pub use shard::{run_cluster_sims, simulate_policy_sharded};

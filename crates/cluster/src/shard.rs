@@ -1,0 +1,225 @@
+//! Rack-sharded parallel execution of the large-scale simulation.
+//!
+//! Racks in [`crate::largescale`] interact only at gOA epoch boundaries, and
+//! each rack's trace is generated from an independent `Pcg32` stream derived
+//! from `(seed, rack_id)` ([`soc_traces::gen::TraceGenerator::generate_rack`]),
+//! so whole racks can run on worker threads between epochs. This module
+//! deals racks across a [`simcore::par`] worker pool and merges results in
+//! canonical rack order, preserving the workspace's byte-identical-per-seed
+//! guarantee: `--threads N` output is identical to `--threads 1`.
+//!
+//! Three things make the merge exact rather than best-effort:
+//!
+//! 1. **Per-shard RNG**: rack traces never share generator state; the
+//!    generator derives a fresh stream per rack index.
+//! 2. **Per-shard telemetry**: each rack simulates into a buffered
+//!    [`Telemetry`] handle ([`Telemetry::buffered`]) whose decision-id
+//!    counter starts at a deterministic base ([`shard_id_base`]) instead of
+//!    a shared atomic — so `decision_id`/`cause_id` fields are a pure
+//!    function of `(run, rack)`, not of scheduling.
+//! 3. **Canonical merge**: after the join, shard buffers are replayed into
+//!    the real handle in rack order ([`Telemetry::absorb`]): events append
+//!    in the order a serial run would emit them, counters add, and
+//!    histograms merge bucket-wise.
+
+use crate::harness::{ClusterConfig, ClusterResult, ClusterSim};
+use crate::largescale::{simulate_rack_traced, LargeScaleConfig};
+use crate::largescale_metrics::RackOutcome;
+use simcore::par;
+use smartoclock::policy::PolicyKind;
+use soc_telemetry::{MetricsSnapshot, Telemetry};
+use soc_traces::gen::TraceGenerator;
+
+/// Decision-id bit layout for shard-local telemetry handles:
+/// `run_id << 44 | (shard + 1) << 24 | local`, giving every shard of every
+/// traced run a disjoint id range (16M local ids per shard, ~1M shards per
+/// run) without any cross-thread coordination. `run_id` comes from the
+/// outer handle's counter *before* the fan-out, so it is identical for
+/// every thread count.
+const RUN_SHIFT: u32 = 44;
+const SHARD_SHIFT: u32 = 24;
+
+/// Deterministic id base for shard `shard` of traced run `run_id`.
+pub fn shard_id_base(run_id: u64, shard: usize) -> u64 {
+    (run_id << RUN_SHIFT) | ((shard as u64 + 1) << SHARD_SHIFT)
+}
+
+/// [`crate::largescale::simulate_policy_traced`] across `threads` workers.
+///
+/// Racks are dealt round-robin over the worker pool; every rack simulates
+/// against its own generated trace and buffered telemetry, and outcomes,
+/// events, and metrics are merged back in rack order. Output — return
+/// value, event stream, and metrics registry contents — is byte-identical
+/// for every `threads` value (`0` means [`par::available_parallelism`]).
+///
+/// # Panics
+/// Panics if `config.weeks < 2` or `config.racks == 0`.
+pub fn simulate_policy_sharded(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    telemetry: &Telemetry,
+    threads: usize,
+) -> Vec<RackOutcome> {
+    assert!(
+        config.weeks >= 2,
+        "need at least one training and one evaluation week"
+    );
+    assert!(config.racks > 0, "need at least one rack");
+    let generator = TraceGenerator::new(config.seed);
+    let fleet_cfg = config.fleet_config();
+    // Allocate the run id serially, before the fan-out: thread-count
+    // independent by construction (0 when telemetry is disabled).
+    let run_id = telemetry.next_id();
+    let enabled = telemetry.is_enabled();
+    let sharded = par::par_map(threads, (0..config.racks).collect(), |_, r| {
+        let rack = generator.generate_rack(&fleet_cfg, r);
+        let model = generator.model_for(rack.generation);
+        if enabled {
+            let (local, sink) = Telemetry::buffered(shard_id_base(run_id, r));
+            let outcome = simulate_rack_traced(config, policy, &rack, &model, &local);
+            (outcome, sink.events(), local.metrics_snapshot())
+        } else {
+            let disabled = Telemetry::disabled();
+            let outcome = simulate_rack_traced(config, policy, &rack, &model, &disabled);
+            (outcome, Vec::new(), MetricsSnapshot::default())
+        }
+    });
+    sharded
+        .into_iter()
+        .map(|(outcome, events, metrics)| {
+            telemetry.absorb(&events, &metrics);
+            outcome
+        })
+        .collect()
+}
+
+/// Run several independent closed-loop cluster simulations across `threads`
+/// workers (the harness-level driver behind `--threads` in experiment
+/// binaries that compare systems, e.g. `exp_power_constrained`).
+///
+/// Each simulation gets a buffered telemetry handle with a deterministic id
+/// base; buffers merge into `telemetry` in input order, so traces read as if
+/// the simulations had run back to back on one thread.
+pub fn run_cluster_sims(
+    configs: Vec<ClusterConfig>,
+    telemetry: &Telemetry,
+    threads: usize,
+) -> Vec<ClusterResult> {
+    let run_id = telemetry.next_id();
+    let enabled = telemetry.is_enabled();
+    let results = par::par_map(threads, configs, |i, cfg| {
+        if enabled {
+            let (local, sink) = Telemetry::buffered(shard_id_base(run_id, i));
+            let result = ClusterSim::with_telemetry(cfg, local.clone()).run();
+            (result, sink.events(), local.metrics_snapshot())
+        } else {
+            (
+                ClusterSim::new(cfg).run(),
+                Vec::new(),
+                MetricsSnapshot::default(),
+            )
+        }
+    });
+    results
+        .into_iter()
+        .map(|(result, events, metrics)| {
+            telemetry.absorb(&events, &metrics);
+            result
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_telemetry::json::event_to_json;
+
+    fn config() -> LargeScaleConfig {
+        LargeScaleConfig::small_test()
+    }
+
+    /// Render a traced run as (JSONL trace, metrics dump) for byte compare.
+    fn traced_run(threads: usize) -> (String, String, Vec<RackOutcome>) {
+        let (tm, sink) = Telemetry::memory();
+        let outcomes = simulate_policy_sharded(&config(), PolicyKind::SmartOClock, &tm, threads);
+        let trace: String = sink
+            .events()
+            .iter()
+            .map(|e| {
+                let mut line = event_to_json(e);
+                line.push('\n');
+                line
+            })
+            .collect();
+        (trace, tm.metrics_snapshot().render(), outcomes)
+    }
+
+    #[test]
+    fn outcomes_match_serial_reference() {
+        let serial = crate::largescale::simulate_policy(&config(), PolicyKind::SmartOClock);
+        let sharded = simulate_policy_sharded(
+            &config(),
+            PolicyKind::SmartOClock,
+            &Telemetry::disabled(),
+            4,
+        );
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(a.rack, b.rack);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.requests, b.requests);
+            assert_eq!(a.granted, b.granted);
+            assert_eq!(a.capping_steps, b.capping_steps);
+            assert_eq!(a.capping_events, b.capping_events);
+        }
+    }
+
+    #[test]
+    fn trace_and_metrics_are_thread_count_invariant() {
+        let (trace_1, metrics_1, outcomes_1) = traced_run(1);
+        for threads in [2, 4] {
+            let (trace_n, metrics_n, outcomes_n) = traced_run(threads);
+            assert_eq!(trace_1, trace_n, "threads={threads} trace diverged");
+            assert_eq!(metrics_1, metrics_n, "threads={threads} metrics diverged");
+            assert_eq!(outcomes_1.len(), outcomes_n.len());
+        }
+        assert!(!trace_1.is_empty());
+        assert!(trace_1.contains("rack_sim_start"));
+    }
+
+    #[test]
+    fn shard_id_bases_are_disjoint_and_ordered() {
+        let bases: Vec<u64> = (0..100).map(|s| shard_id_base(1, s)).collect();
+        for pair in bases.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= 1 << SHARD_SHIFT,
+                "shards must have disjoint id ranges"
+            );
+        }
+        assert!(shard_id_base(2, 0) > shard_id_base(1, 99));
+    }
+
+    #[test]
+    fn parallel_cluster_sims_match_serial_traces() {
+        use crate::harness::SystemKind;
+        let configs = || {
+            vec![
+                ClusterConfig::small_test(SystemKind::NaiveOClock),
+                ClusterConfig::small_test(SystemKind::SmartOClock),
+            ]
+        };
+        let run = |threads: usize| {
+            let (tm, sink) = Telemetry::memory();
+            let results = run_cluster_sims(configs(), &tm, threads);
+            let trace: String = sink.events().iter().map(event_to_json).collect();
+            (trace, tm.metrics_snapshot().render(), results.len())
+        };
+        let (trace_1, metrics_1, n_1) = run(1);
+        let (trace_2, metrics_2, n_2) = run(2);
+        assert_eq!(n_1, 2);
+        assert_eq!(n_1, n_2);
+        assert_eq!(trace_1, trace_2);
+        assert_eq!(metrics_1, metrics_2);
+        assert!(!trace_1.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! Epoch-boundary tracking for gOA budget-refresh cycles.
+//!
+//! The control plane is epoch-structured: the gOA recomputes budget splits
+//! and the sOAs refresh lifetime allowances once per epoch (weekly in the
+//! paper's evaluation, §V-B), and *between* boundaries racks evolve
+//! independently. That independence is what the sharded execution engine
+//! (`simcore::par`) exploits — work is only dealt out between epochs — so
+//! boundary detection must be a pure function of sim time, never of
+//! scheduling. [`EpochTracker`] centralizes that arithmetic: callers step
+//! simulated time however they like and ask the tracker whether a step
+//! crossed into a new epoch.
+
+use simcore::time::{SimDuration, SimTime};
+
+/// Detects epoch boundaries as simulated time advances.
+///
+/// Epoch `k` covers `[k·period, (k+1)·period)` from [`SimTime::ZERO`]. The
+/// tracker starts in epoch 0; [`EpochTracker::advance`] reports the first
+/// observation inside any later epoch. Time may step by arbitrary strides —
+/// a coarse step that skips whole epochs still lands in the right one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochTracker {
+    period: SimDuration,
+    current: u64,
+}
+
+impl EpochTracker {
+    /// Tracker with the given boundary period.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    pub fn new(period: SimDuration) -> EpochTracker {
+        assert!(!period.is_zero(), "epoch period must be positive");
+        EpochTracker { period, current: 0 }
+    }
+
+    /// The paper's weekly budget-refresh epoch.
+    pub fn weekly() -> EpochTracker {
+        EpochTracker::new(SimDuration::WEEK)
+    }
+
+    /// Epoch index containing `t`.
+    pub fn index_of(&self, t: SimTime) -> u64 {
+        t.since(SimTime::ZERO).as_micros() / self.period.as_micros()
+    }
+
+    /// Advance to `t`; returns `Some(epoch_index)` exactly when `t` lies in
+    /// a different epoch than the previous call (the hook point where the
+    /// gOA recomputes splits and allowances are refreshed).
+    pub fn advance(&mut self, t: SimTime) -> Option<u64> {
+        let idx = self.index_of(t);
+        if idx != self.current {
+            self.current = idx;
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The epoch index most recently observed via [`EpochTracker::advance`].
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The boundary period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_boundaries_fire_once_per_week() {
+        let mut epochs = EpochTracker::weekly();
+        let step = SimDuration::from_hours(6);
+        let mut t = SimTime::ZERO;
+        let mut fired = Vec::new();
+        while t < SimTime::ZERO + SimDuration::WEEK * 3 {
+            if let Some(idx) = epochs.advance(t) {
+                fired.push((idx, t));
+            }
+            t += step;
+        }
+        assert_eq!(fired.len(), 2, "weeks 1 and 2 (start is already epoch 0)");
+        assert_eq!(fired[0].0, 1);
+        assert_eq!(fired[1].0, 2);
+        assert_eq!(fired[0].1, SimTime::ZERO + SimDuration::WEEK);
+        assert_eq!(epochs.current(), 2);
+    }
+
+    #[test]
+    fn coarse_steps_skip_into_the_right_epoch() {
+        let mut epochs = EpochTracker::new(SimDuration::DAY);
+        assert_eq!(
+            epochs.advance(SimTime::ZERO + SimDuration::DAY * 5),
+            Some(5)
+        );
+        assert_eq!(epochs.advance(SimTime::ZERO + SimDuration::DAY * 5), None);
+        assert_eq!(epochs.index_of(SimTime::ZERO), 0);
+        assert_eq!(epochs.period(), SimDuration::DAY);
+    }
+
+    #[test]
+    fn mid_epoch_times_do_not_fire() {
+        let mut epochs = EpochTracker::weekly();
+        assert_eq!(
+            epochs.advance(SimTime::ZERO + SimDuration::from_days(3)),
+            None
+        );
+        assert_eq!(
+            epochs.advance(SimTime::ZERO + SimDuration::from_days(8)),
+            Some(1)
+        );
+        assert_eq!(
+            epochs.advance(SimTime::ZERO + SimDuration::from_days(9)),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = EpochTracker::new(SimDuration::ZERO);
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod epoch;
 pub mod goa;
 pub mod infer;
 pub mod messages;
@@ -45,6 +46,7 @@ pub mod soa;
 pub mod wi;
 
 pub use config::SoaConfig;
+pub use epoch::EpochTracker;
 pub use goa::{GlobalOverclockAgent, ServerProfile};
 pub use infer::{infer_trigger, InferenceConfig};
 pub use messages::{GrantId, OverclockRequest, RejectReason, SoaEvent};

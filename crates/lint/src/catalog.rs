@@ -86,6 +86,18 @@ pub const CATALOG: &[LintInfo] = &[
         example: "let x = rand::thread_rng().gen::<f64>();",
     },
     LintInfo {
+        id: "D005",
+        name: "raw-threading-in-sim-state",
+        category: Category::Determinism,
+        summary: "std::thread/channel use in a sim-state crate; shard work through simcore::par",
+        rationale: "Ad-hoc threads and channels interleave sim-state updates and telemetry in \
+                    scheduler order, which varies run to run and with core count; \
+                    simcore::par::par_map shards work deterministically and merges results \
+                    in canonical input order, so `--threads N` stays byte-identical to \
+                    `--threads 1`.",
+        example: "std::thread::spawn(move || sim.step());",
+    },
+    LintInfo {
         id: "U001",
         name: "raw-float-power-parameter",
         category: Category::Units,

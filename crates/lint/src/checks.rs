@@ -58,10 +58,13 @@ fn push(diags: &mut Vec<Diagnostic>, src: &SourceFile, lint: &'static str, line:
 
 // ---------------------------------------------------------------- D-lints --
 
-/// D001–D004 apply to the whole file, test code included: a flaky test from
+/// D001–D005 apply to the whole file, test code included: a flaky test from
 /// hash-order or wall-clock dependence costs the same debugging time as a
 /// flaky simulation.
 fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    // The one sanctioned threading primitive: simcore::par itself must use
+    // std::thread to exist, and every other sim-state crate goes through it.
+    let is_par_abstraction = src.path == "crates/simcore/src/par.rs";
     let toks = &src.tokens;
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokenKind::Ident {
@@ -102,6 +105,27 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 "D004",
                 t.line,
                 "the `rand` crate is non-deterministic across versions and platforms; use simcore::rng::Pcg32".to_string(),
+            ),
+            "thread" if !is_par_abstraction && path_prefix(toks, i, "std") => push(
+                diags,
+                src,
+                "D005",
+                t.line,
+                "std::thread in sim-state crate; scheduler interleaving varies per run — shard through simcore::par::par_map".to_string(),
+            ),
+            "mpsc" if !is_par_abstraction => push(
+                diags,
+                src,
+                "D005",
+                t.line,
+                "channel use in sim-state crate; message arrival order is scheduler-dependent — shard through simcore::par::par_map".to_string(),
+            ),
+            "crossbeam" if !is_par_abstraction && is_crate_use(toks, i) => push(
+                diags,
+                src,
+                "D005",
+                t.line,
+                "crossbeam channels in sim-state crate; message arrival order is scheduler-dependent — shard through simcore::par::par_map".to_string(),
             ),
             _ => {}
         }
@@ -541,6 +565,32 @@ mod tests {
         assert!(sim("use simcore::rng::Pcg32;").is_empty());
         // A field access named rand is fine.
         assert!(sim("let x = cfg.rand;").is_empty());
+    }
+
+    #[test]
+    fn d005_raw_threading() {
+        assert_eq!(sim("use std::thread;"), [("D005".to_string(), 1)]);
+        assert_eq!(
+            sim("std::thread::spawn(|| step());"),
+            [("D005".to_string(), 1)]
+        );
+        assert_eq!(sim("use std::sync::mpsc;"), [("D005".to_string(), 1)]);
+        assert_eq!(
+            sim("use crossbeam::channel::bounded;"),
+            [("D005".to_string(), 1)]
+        );
+        // The par abstraction itself is the sanctioned home of std::thread.
+        assert!(lint_src(
+            "simcore",
+            "crates/simcore/src/par.rs",
+            "use std::thread;\nstd::thread::scope(|s| s);"
+        )
+        .is_empty());
+        // A local module or field named thread is not std::thread.
+        assert!(sim("let t = pool.thread;").is_empty());
+        assert!(sim("runtime::thread::park();").is_empty());
+        // Non-sim crates may thread freely.
+        assert!(lint_src("analyze", "crates/analyze/src/x.rs", "use std::thread;").is_empty());
     }
 
     #[test]

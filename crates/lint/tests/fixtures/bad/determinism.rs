@@ -27,3 +27,10 @@ fn jitter() -> f64 {
     let mut rng = rand::thread_rng();
     rng.gen()
 }
+
+fn spawn_workers() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || tx.send(1));
+    let q = crossbeam::channel::unbounded::<u32>();
+    let _ = (rx, q);
+}

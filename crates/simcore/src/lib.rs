@@ -11,6 +11,9 @@
 //!   distributions the workload and trace generators need.
 //! * [`stats`] — percentiles, RMSE, CDFs, and summary statistics.
 //! * [`hist`] — log-bucketed histograms for high-volume latency recording.
+//! * [`par`] — deterministic sharded parallel execution ([`par::par_map`]):
+//!   scoped worker threads with canonical-order result merge, so thread
+//!   count never changes a single output byte.
 //! * [`series`] — regular time series with time-of-day aggregation.
 //! * [`report`] — plain-text table/CSV rendering for experiment binaries.
 //!
@@ -32,6 +35,7 @@
 pub mod engine;
 pub mod event;
 pub mod hist;
+pub mod par;
 pub mod report;
 pub mod rng;
 pub mod series;

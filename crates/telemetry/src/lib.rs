@@ -102,6 +102,45 @@ impl Telemetry {
         Ok(Telemetry::with_sink(JsonlSink::create(path)?))
     }
 
+    /// Enabled handle buffering into a private [`MemorySink`] and registry,
+    /// with the id counter starting at `id_base` (clamped up to 1, since 0
+    /// is the reserved no-id value).
+    ///
+    /// This is the shard-local handle of the parallel execution engine: each
+    /// worker simulates into its own buffer, and the caller replays the
+    /// buffers into the real handle with [`Telemetry::absorb`] in canonical
+    /// shard order after the join. Giving every shard a disjoint,
+    /// deterministic id range (`id_base` derived from the shard index, not
+    /// from a shared counter) is what keeps `decision_id`/`cause_id` fields
+    /// byte-identical across thread counts.
+    pub fn buffered(id_base: u64) -> (Telemetry, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let tm = Telemetry {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(SharedSink(sink.clone())),
+                metrics: MetricsRegistry::new(),
+                ids: AtomicU64::new(id_base.max(1)),
+            })),
+        };
+        (tm, sink)
+    }
+
+    /// Replay a shard's buffered output into this handle: events are
+    /// re-emitted in their buffered order, then `metrics` is merged into the
+    /// registry (counters add, gauges overwrite, histograms merge).
+    ///
+    /// Callers must absorb shards in canonical (input) order — the event
+    /// stream and any overlapping gauges take their order from the calls.
+    /// No-op when disabled.
+    pub fn absorb(&self, events: &[Event], metrics: &MetricsSnapshot) {
+        if let Some(inner) = &self.inner {
+            for event in events {
+                inner.sink.record(event);
+            }
+            inner.metrics.merge_snapshot(metrics);
+        }
+    }
+
     /// `true` when events actually go somewhere. Emission sites check this
     /// before building field vectors so the disabled path never allocates.
     #[inline]
@@ -442,6 +481,60 @@ mod tests {
             0,
             "0 is the reserved no-id value"
         );
+    }
+
+    #[test]
+    fn buffered_handle_uses_the_id_base() {
+        let (tm, sink) = Telemetry::buffered(1 << 24);
+        assert_eq!(tm.next_id(), 1 << 24);
+        assert_eq!(tm.next_id(), (1 << 24) + 1);
+        tm.emit(Event::new(
+            SimTime::ZERO,
+            Component::Sim,
+            Severity::Info,
+            "e",
+        ));
+        assert_eq!(sink.len(), 1);
+        // Base 0 clamps to 1 so a buffered handle never emits the no-id value.
+        let (tm, _sink) = Telemetry::buffered(0);
+        assert_eq!(tm.next_id(), 1);
+    }
+
+    #[test]
+    fn absorb_replays_events_and_merges_metrics_in_order() {
+        let (outer, outer_sink) = Telemetry::memory();
+        outer.metrics(|m| m.inc_counter("c", &[]));
+
+        let shard = |base: u64, name: &'static str, gauge: f64| {
+            let (tm, sink) = Telemetry::buffered(base);
+            tm.emit(Event::new(
+                SimTime::ZERO,
+                Component::Sim,
+                Severity::Info,
+                name,
+            ));
+            tm.metrics(|m| {
+                m.inc_counter("c", &[]);
+                m.set_gauge("g", &[], gauge);
+                m.observe("h", &[], gauge);
+            });
+            (sink.events(), tm.metrics_snapshot())
+        };
+        let (ev0, m0) = shard(100, "shard0", 1.0);
+        let (ev1, m1) = shard(200, "shard1", 2.0);
+        outer.absorb(&ev0, &m0);
+        outer.absorb(&ev1, &m1);
+
+        let names: Vec<&str> = outer_sink.events().iter().map(|e| e.name).collect();
+        assert_eq!(names, ["shard0", "shard1"], "canonical shard order");
+        assert_eq!(outer.metrics(|m| m.counter("c", &[])), Some(3));
+        // Gauges: last absorbed shard wins, same as a serial run.
+        assert_eq!(outer.metrics(|m| m.gauge("g", &[])).flatten(), Some(2.0));
+        let h = outer.metrics(|m| m.histogram("h", &[])).flatten().unwrap();
+        assert_eq!(h.count(), 2);
+
+        // Absorbing into a disabled handle is a no-op.
+        Telemetry::disabled().absorb(&ev0, &m0);
     }
 
     #[test]

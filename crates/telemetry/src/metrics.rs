@@ -163,6 +163,37 @@ impl MetricsRegistry {
         map.get(&key(name, labels)).cloned()
     }
 
+    /// Merge a snapshot taken from another registry (a shard's buffered
+    /// registry) into this one: counters add, gauges overwrite (last write
+    /// wins — merge shards in canonical order), histograms merge
+    /// bucket-wise. All registry histograms share one precision, so the
+    /// histogram merge cannot panic.
+    pub fn merge_snapshot(&self, snap: &MetricsSnapshot) {
+        {
+            let mut map = self.counters.lock().expect("counter map poisoned");
+            for (k, v) in &snap.counters {
+                *map.entry(k.clone()).or_insert(0) += v;
+            }
+        }
+        {
+            let mut map = self.gauges.lock().expect("gauge map poisoned");
+            for (k, v) in &snap.gauges {
+                map.insert(k.clone(), *v);
+            }
+        }
+        {
+            let mut map = self.histograms.lock().expect("histogram map poisoned");
+            for (k, h) in &snap.histograms {
+                match map.get_mut(k) {
+                    Some(existing) => existing.merge(h),
+                    None => {
+                        map.insert(k.clone(), h.clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Deterministic snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -296,6 +327,24 @@ mod tests {
         assert!(text.contains("counter a 1"));
         assert!(text.contains("gauge g 1.5"));
         assert!(text.contains("hist h count=1"));
+    }
+
+    #[test]
+    fn merge_snapshot_matches_direct_recording() {
+        // Recording everything into one registry must equal recording into
+        // two and merging the second's snapshot into the first.
+        let direct = MetricsRegistry::new();
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        for (i, m) in [(0u64, &a), (1, &b)] {
+            for target in [&direct, m] {
+                target.inc_counter_by("c", &[], i + 1);
+                target.set_gauge("g", &[], i as f64);
+                target.observe("h", &[("rack", i.into())], (i + 1) as f64 * 10.0);
+            }
+        }
+        a.merge_snapshot(&b.snapshot());
+        assert_eq!(a.snapshot().render(), direct.snapshot().render());
     }
 
     #[test]

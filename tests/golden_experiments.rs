@@ -1,0 +1,101 @@
+//! Golden-file regression tests for the experiment pipelines.
+//!
+//! Pins the summary metrics behind Fig. 15 (walk-forward template accuracy)
+//! and Fig. 16 (production-service utilization sweep) on tiny fixtures, so
+//! an accidental behavior change in the trace generator, the predictors, or
+//! the microservice simulator shows up as a readable diff instead of a
+//! silently shifted table.
+//!
+//! Values are formatted to six decimal places: exact enough to catch any
+//! real behavior change, coarse enough to absorb last-ulp libm differences
+//! across toolchains. To regenerate after an *intentional* change:
+//!
+//! ```text
+//! SOC_UPDATE_GOLDEN=1 cargo test -p soc-bench --test golden_experiments
+//! ```
+//!
+//! and commit the diff together with a justification.
+
+use simcore::time::SimDuration;
+use soc_cluster::envs::{run_at_rate, Environment};
+use soc_power::freq::FrequencyPlan;
+use soc_predict::eval::walk_forward;
+use soc_predict::template::TemplateKind;
+use soc_traces::gen::{FleetConfig, TraceGenerator};
+use soc_workloads::microservice::ServiceSpec;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden_experiments.txt"
+);
+
+/// Compute the pinned summary: deterministic, fixed formatting, one line
+/// per metric so diffs are line-oriented.
+fn compute_summary() -> String {
+    let mut out = String::new();
+
+    // --- Fig. 15 slice: walk-forward accuracy per template on a 2-rack,
+    // 2-week fixture fleet (the full figure uses 100 racks x 3 weeks).
+    let mut cfg = FleetConfig::small_test();
+    cfg.span = SimDuration::WEEK * 2;
+    let fleet = TraceGenerator::new(42).generate(&cfg);
+    for (rack_idx, rack) in fleet.racks.iter().enumerate() {
+        for &kind in TemplateKind::ALL.iter() {
+            let report = walk_forward(&rack.power, kind);
+            let _ = writeln!(
+                out,
+                "fig15 rack={rack_idx} template={kind} mean_error={:.6} rmse={:.6} samples={}",
+                report.mean_error, report.rmse, report.samples
+            );
+        }
+    }
+
+    // --- Fig. 16 slice: Service B utilization at three deployment rates
+    // under baseline and overclocked frequencies (60s measure window).
+    let plan = FrequencyPlan::amd_reference();
+    let spec = ServiceSpec::new("ServiceB", 22.0, 1.1, 4);
+    let measure = SimDuration::from_secs(60);
+    for rps_k in [0.6_f64, 1.2, 1.8] {
+        for env in [Environment::Baseline, Environment::Overclock] {
+            let r = run_at_rate(&spec, rps_k * 100.0, env, plan, measure, 42);
+            let _ = writeln!(
+                out,
+                "fig16 rps_k={rps_k:.1} env={env:?} util={:.6} p99_ms={:.6} slo_miss={:.6}",
+                r.cpu_utilization, r.p99_ms, r.slo_miss_frac
+            );
+        }
+    }
+    out
+}
+
+#[test]
+fn experiment_summaries_match_golden_file() {
+    let actual = compute_summary();
+    if std::env::var_os("SOC_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        eprintln!("golden file updated: {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with SOC_UPDATE_GOLDEN=1 to create it");
+    if expected != actual {
+        // Line-by-line diff beats one giant assert_eq dump.
+        for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            assert_eq!(a, e, "golden mismatch at line {}", i + 1);
+        }
+        assert_eq!(
+            actual.lines().count(),
+            expected.lines().count(),
+            "golden file line count changed"
+        );
+        panic!("golden file differs (whitespace-only change?)");
+    }
+}
+
+#[test]
+fn summary_is_stable_across_runs() {
+    // The golden comparison is only sound if the summary itself is a pure
+    // function of the seed.
+    assert_eq!(compute_summary(), compute_summary());
+}
