@@ -20,7 +20,8 @@ const USAGE: &str = "usage: soc-analyze <command> [args]
 
 commands:
   summary   <trace.jsonl>                 event counts, span, link health
-  chains    <trace.jsonl> [--limit N]     causal chains ending at revoke/slo_miss
+  chains    <trace.jsonl> [--limit N]     causal chains ending at revoke/slo_miss/
+                                          budget_violation
   attribute <trace.jsonl>                 SLO-miss attribution table
   metrics   <trace.jsonl>                 end-of-run metric rollups
   report    <trace.jsonl> [--out FILE]    full report (all of the above)
@@ -117,7 +118,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let trace = load(positional[0])?;
             let all = chains::chains(&trace, &DEFAULT_TERMINALS);
             if all.is_empty() {
-                println!("no revoke or slo_miss events in {}", positional[0]);
+                println!(
+                    "no revoke, slo_miss, or budget_violation events in {}",
+                    positional[0]
+                );
             } else {
                 print!("{}", chains::render_chains(&trace, &all, limit));
             }

@@ -11,8 +11,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Terminal event names a chain may end at, in severity order: these are the
-/// outcomes an operator wants explained.
-pub const DEFAULT_TERMINALS: [&str; 2] = ["slo_miss", "revoke"];
+/// outcomes an operator wants explained. `budget_violation` is emitted by
+/// the fault-injection layer when a post-enforcement rack draw exceeds the
+/// contracted limit (only fail-open baselines produce it).
+pub const DEFAULT_TERMINALS: [&str; 3] = ["budget_violation", "slo_miss", "revoke"];
 
 /// One reconstructed causal chain.
 #[derive(Debug, Clone, PartialEq, Eq)]

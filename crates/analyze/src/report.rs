@@ -53,10 +53,10 @@ pub fn full_report(trace: &Trace, title: &str) -> String {
     out.push_str("-- Summary --\n");
     out.push_str(&summary(trace));
 
-    out.push_str("\n-- Causal chains (warning/cap -> revoke -> SLO miss) --\n");
+    out.push_str("\n-- Causal chains (warning/cap -> revoke / SLO miss / budget violation) --\n");
     let all = chains::chains(trace, &DEFAULT_TERMINALS);
     if all.is_empty() {
-        out.push_str("no revoke or slo_miss events in this trace\n");
+        out.push_str("no revoke, slo_miss, or budget_violation events in this trace\n");
     } else {
         out.push_str(&chains::render_chains(trace, &all, DEFAULT_CHAIN_LIMIT));
     }
@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn empty_trace_report_degrades_gracefully() {
         let report = full_report(&Trace::parse("").unwrap(), "empty");
-        assert!(report.contains("no revoke or slo_miss events"));
+        assert!(report.contains("no revoke, slo_miss, or budget_violation events"));
         assert!(report.contains("no slo_miss events"));
     }
 }

@@ -16,10 +16,12 @@
 
 pub use crate::largescale_metrics::{PolicyMetrics, RackOutcome};
 use serde::{Deserialize, Serialize};
+use simcore::faults::{FaultPlan, FaultPlanConfig};
 use simcore::time::{SimDuration, SimTime};
 use smartoclock::epoch::EpochTracker;
+use smartoclock::goa::GlobalOverclockAgent;
 use smartoclock::policy::PolicyKind;
-use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
+use soc_power::hierarchy::DemandProfile;
 use soc_power::model::PowerModel;
 use soc_power::rack::RackMonitor;
 use soc_power::units::Watts;
@@ -51,6 +53,17 @@ pub struct LargeScaleConfig {
     pub explore_cap: Watts,
     /// RNG seed for trace generation.
     pub seed: u64,
+    /// Control-plane fault schedule (default: no faults). Applies only to
+    /// the evaluation weeks; realized per-rack from the shared seed so fault
+    /// timelines compose with sharded execution.
+    #[serde(default)]
+    pub faults: FaultPlanConfig,
+    /// How the `Central` baseline behaves while the fault plan marks the
+    /// gOA/central controller unreachable: `true` = fail-open (stale
+    /// permissions stand, no enforcement — risks budget violations),
+    /// `false` = fail-stop (deny all overclocking — forfeits OC uptime).
+    #[serde(default)]
+    pub central_fail_open: bool,
 }
 
 impl LargeScaleConfig {
@@ -65,6 +78,8 @@ impl LargeScaleConfig {
             explore_step: Watts::new(20.0),
             explore_cap: Watts::new(200.0),
             seed: 42,
+            faults: FaultPlanConfig::none(),
+            central_fail_open: false,
         }
     }
 
@@ -79,6 +94,8 @@ impl LargeScaleConfig {
             explore_step: Watts::new(20.0),
             explore_cap: Watts::new(200.0),
             seed: 42,
+            faults: FaultPlanConfig::none(),
+            central_fail_open: false,
         }
     }
 
@@ -113,6 +130,9 @@ struct ServerState {
     backoff_remaining: u32,
     /// Remaining overclock time this week.
     oc_remaining: SimDuration,
+    /// A budget update delayed in flight (fault injection): applied once
+    /// sim time reaches the delivery instant.
+    pending_budget: Option<(SimTime, Watts)>,
 }
 
 /// Simulate one policy over a freshly generated fleet; returns per-rack
@@ -167,6 +187,10 @@ pub fn simulate_rack_traced(
     let train_end = SimTime::ZERO + SimDuration::WEEK;
     let trace_end = SimTime::ZERO + SimDuration::WEEK * config.weeks;
     let per_core_extra = |util: f64| model.overclock_delta(util.clamp(0.0, 1.0), 1, oc_freq);
+    // The fault schedule covers the evaluation weeks only; it is a pure
+    // function of the plan config, so every shard realizes the same
+    // timeline regardless of execution order.
+    let faults = FaultPlan::generate(&config.faults, train_end, trace_end);
 
     // --- Training: build templates from week 1. ---
     let weekly_allowance = SimDuration::WEEK.mul_f64(config.oc_time_fraction);
@@ -189,14 +213,31 @@ pub fn simulate_rack_traced(
                 backoff_steps: 0,
                 backoff_remaining: 0,
                 oc_remaining: weekly_allowance,
+                pending_budget: None,
             }
         })
         .collect();
+    // Static prediction bias (fault injection): the trained regular-power
+    // templates systematically over- or under-predict. Applied once here so
+    // per-step noise (prediction_factor) is never double-counted.
+    if faults.config().prediction_bias != 1.0 {
+        let bias = faults.config().prediction_bias;
+        for s in &mut servers {
+            s.template = s.template.clone().map_values(|v| v * bias);
+        }
+    }
 
     let mut monitor = RackMonitor::new(rack.limit, 0.95);
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
+    outcome.limit = rack.limit;
     let mut warned_last_step = false;
     let mut epochs = EpochTracker::weekly();
+    let goa = GlobalOverclockAgent::new(rack.limit, policy);
+    let mut goa_was_down = false;
+    let mut degraded_decision = 0u64;
+    let mut dropped_updates = 0u64;
+    let mut delayed_updates = 0u64;
+    let mut telemetry_gaps = 0u64;
     let sim_decision = telemetry.next_id();
     tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
         "rack" => rack.index,
@@ -216,21 +257,88 @@ pub fn simulate_rack_traced(
                 s.oc_remaining = weekly_allowance;
             }
         }
+        // Delayed budget updates (fault injection) mature first: a message
+        // sent during an earlier step finally lands.
+        for s in servers.iter_mut() {
+            if let Some((due, b)) = s.pending_budget {
+                if t >= due {
+                    s.budget = b;
+                    s.pending_budget = None;
+                }
+            }
+        }
         // gOA budget computation at this instant (heterogeneous or even).
-        let demands: Vec<DemandProfile> = servers
-            .iter()
-            .map(|s| DemandProfile {
-                regular: Watts::new(s.template.predict(t).max(0.0)),
-                overclock_demand: Watts::new(s.demand_template.predict(t).max(0.0)),
-            })
-            .collect();
-        let budgets = if policy.heterogeneous_budgets() {
-            heterogeneous_split(rack.limit, &demands)
+        // While the fault plan marks the gOA unreachable no recomputation
+        // happens: every server keeps enforcing its last-received budget —
+        // the paper's stale-budget degraded mode (§III-Q5).
+        let goa_down = faults.goa_unreachable(t);
+        if goa_down != goa_was_down {
+            goa_was_down = goa_down;
+            if goa_down {
+                degraded_decision = telemetry.next_id();
+                tm_event!(telemetry, t, Component::Fault, Severity::Warn, "degraded_enter",
+                    "rack" => rack.index,
+                    "policy" => policy.name(),
+                    "kind" => "goa_outage",
+                    "decision_id" => degraded_decision,
+                    "cause_id" => sim_decision);
+            } else {
+                tm_event!(telemetry, t, Component::Fault, Severity::Info, "degraded_exit",
+                    "rack" => rack.index,
+                    "policy" => policy.name(),
+                    "stale_us" => epochs.staleness(t).unwrap_or(SimDuration::ZERO),
+                    "cause_id" => degraded_decision);
+                degraded_decision = 0;
+            }
+        }
+        if goa_down {
+            outcome.stale_budget_steps += 1;
         } else {
-            vec![rack.limit / servers.len() as f64; servers.len()]
-        };
-        for (s, b) in servers.iter_mut().zip(&budgets) {
-            s.budget = *b;
+            let demands: Vec<DemandProfile> = servers
+                .iter()
+                .map(|s| DemandProfile {
+                    regular: Watts::new(s.template.predict(t).max(0.0)),
+                    overclock_demand: Watts::new(s.demand_template.predict(t).max(0.0)),
+                })
+                .collect();
+            let budgets = goa.budgets_for(&demands);
+            epochs.mark_refresh(t);
+            for (i, (s, b)) in servers.iter_mut().zip(&budgets).enumerate() {
+                let entity = FaultPlan::entity_id(rack.index, i);
+                if faults.drops_budget_update(t, entity) {
+                    // Message lost: the server stays on its stale budget.
+                    dropped_updates += 1;
+                    continue;
+                }
+                let delay = faults.budget_update_delay(t, entity);
+                if delay.is_zero() {
+                    s.budget = *b;
+                    s.pending_budget = None;
+                } else {
+                    delayed_updates += 1;
+                    s.pending_budget = Some((t + delay, *b));
+                }
+            }
+        }
+        // Injected sOA restarts: volatile state is lost and the server
+        // re-joins conservatively — no budget (admission denies until the
+        // next refresh), no exploration state.
+        for (i, s) in servers.iter_mut().enumerate() {
+            let entity = FaultPlan::entity_id(rack.index, i);
+            if faults.soa_restarts(t, entity) {
+                s.budget = Watts::ZERO;
+                s.pending_budget = None;
+                s.explore_extra = Watts::ZERO;
+                s.backoff_steps = 0;
+                s.backoff_remaining = 0;
+                outcome.restarts += 1;
+                tm_event!(telemetry, t, Component::Fault, Severity::Warn, "fault_injected",
+                    "rack" => rack.index,
+                    "server" => i,
+                    "kind" => "soa_restart",
+                    "decision_id" => telemetry.next_id(),
+                    "cause_id" => sim_decision);
+            }
         }
 
         // --- Admission per server. ---
@@ -252,6 +360,12 @@ pub fn simulate_rack_traced(
             if demand_cores <= 0.0 {
                 continue;
             }
+            // WI telemetry gap (fault injection): the sOA never sees this
+            // window's demand, so no request is even issued.
+            if faults.telemetry_gap(t, FaultPlan::entity_id(rack.index, i)) {
+                telemetry_gaps += 1;
+                continue;
+            }
             wanted[i] = true;
             outcome.requests += 1;
             let util = trace.utilization.value_at(t).unwrap_or(0.5);
@@ -264,10 +378,23 @@ pub fn simulate_rack_traced(
             let admit = if !policy.admission_checked() {
                 true
             } else if policy.is_central() {
-                // Oracle: actual rack draw including extras granted so far.
-                central_total + extra <= rack.limit
+                if goa_down {
+                    // The central controller is the unreachable component:
+                    // fail-open grants on stale permission, fail-stop denies.
+                    config.central_fail_open
+                } else {
+                    // Oracle: actual rack draw including extras granted so
+                    // far.
+                    central_total + extra <= rack.limit
+                }
             } else {
-                let predicted = Watts::new(servers[i].template.predict(t).max(0.0));
+                // Decentralized check against the locally-held budget; the
+                // fault plan may perturb the prediction (noise is a factor
+                // of exactly 1.0 when unconfigured).
+                let entity = FaultPlan::entity_id(rack.index, i);
+                let predicted = Watts::new(
+                    (servers[i].template.predict(t) * faults.prediction_factor(t, entity)).max(0.0),
+                );
                 predicted + extra <= servers[i].budget + servers[i].explore_extra
             };
             if admit {
@@ -297,8 +424,13 @@ pub fn simulate_rack_traced(
         // uncontrolled demand hits the limit IS a capping event, even though
         // the capping mechanism then sheds load below it.
         let signal = monitor.observe(draw);
+        // When the central baseline runs fail-open through an outage,
+        // nothing enforces: stale permissions stand and the rack draw lands
+        // wherever demand takes it — the budget-violation risk the
+        // decentralized design avoids.
+        let enforcement_disabled = goa_down && policy.is_central() && config.central_fail_open;
         let mut capped = false;
-        if draw >= rack.limit {
+        if draw >= rack.limit && !enforcement_disabled {
             capped = true;
             // The capping transient hits the whole rack before the
             // controller untangles who to throttle: every server suffers a
@@ -347,6 +479,20 @@ pub fn simulate_rack_traced(
         if capped {
             outcome.capping_steps += 1;
         }
+        // Post-enforcement safety audit: a draw still above the contracted
+        // limit is a power-budget violation (the chaos suite pins this at
+        // zero for every enforcing policy, under any fault plan).
+        if draw > rack.limit {
+            outcome.violation_steps += 1;
+            tm_event!(telemetry, t, Component::Fault, Severity::Error, "budget_violation",
+                "rack" => rack.index,
+                "policy" => policy.name(),
+                "draw_w" => draw.get(),
+                "limit_w" => rack.limit.get(),
+                "decision_id" => telemetry.next_id(),
+                "cause_id" => sim_decision);
+        }
+        outcome.max_draw = outcome.max_draw.max(draw);
         telemetry.metrics(|m| {
             m.observe(
                 "sim_rack_draw_w",
@@ -402,6 +548,21 @@ pub fn simulate_rack_traced(
         t += config.step;
     }
     outcome.capping_events = monitor.capping_events();
+    // Fault accounting rides in its own record so fault-free traces stay
+    // byte-for-byte what they were before the faults layer existed.
+    if !faults.is_noop() {
+        tm_event!(telemetry, trace_end, Component::Fault, Severity::Info, "rack_fault_summary",
+            "rack" => rack.index,
+            "policy" => policy.name(),
+            "outages" => faults.outages().len(),
+            "stale_steps" => outcome.stale_budget_steps,
+            "violation_steps" => outcome.violation_steps,
+            "restarts" => outcome.restarts,
+            "dropped_updates" => dropped_updates,
+            "delayed_updates" => delayed_updates,
+            "telemetry_gaps" => telemetry_gaps,
+            "cause_id" => sim_decision);
+    }
     tm_event!(telemetry, trace_end, Component::Sim, Severity::Info, "rack_sim_end",
         "rack" => rack.index,
         "policy" => policy.name(),
@@ -494,6 +655,33 @@ mod tests {
             assert_eq!(x.granted, y.granted);
             assert_eq!(x.capping_events, y.capping_events);
         }
+    }
+
+    #[test]
+    fn outage_marks_stale_steps_but_smart_never_violates() {
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.faults.goa_outages = 1;
+        cfg.faults.goa_outage_len = SimDuration::from_hours(12);
+        let outcomes = simulate_policy(&cfg, PolicyKind::SmartOClock);
+        assert!(
+            outcomes.iter().any(|o| o.stale_budget_steps > 0),
+            "a 12h outage must leave stale-budget steps"
+        );
+        for o in &outcomes {
+            assert_eq!(o.violation_steps, 0, "rack {} violated", o.rack);
+            assert!(o.max_draw <= o.limit);
+        }
+    }
+
+    #[test]
+    fn zero_fault_config_matches_default_run() {
+        let base = simulate_policy(&LargeScaleConfig::small_test(), PolicyKind::SmartOClock);
+        // Same zero-probability plan under a different fault seed: the
+        // timeline is empty either way, so outcomes are identical.
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.faults.seed = 999;
+        let with_plan = simulate_policy(&cfg, PolicyKind::SmartOClock);
+        assert_eq!(base, with_plan);
     }
 
     #[test]

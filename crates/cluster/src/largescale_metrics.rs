@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use smartoclock::policy::PolicyKind;
+use soc_power::units::Watts;
 
 /// Raw per-rack counters from one policy run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +30,24 @@ pub struct RackOutcome {
     pub perf_sum: f64,
     /// Number of demand-server-steps.
     pub perf_samples: u64,
+    /// Steps on which the post-enforcement rack draw still exceeded the
+    /// contracted limit — the paper's safety invariant violated. Stays zero
+    /// under SmartOClock even with fault injection; only a fail-open
+    /// centralized baseline accrues these.
+    #[serde(default)]
+    pub violation_steps: u64,
+    /// Steps spent running on stale budgets (gOA unreachable).
+    #[serde(default)]
+    pub stale_budget_steps: u64,
+    /// Injected sOA restarts.
+    #[serde(default)]
+    pub restarts: u64,
+    /// Highest post-enforcement rack draw observed.
+    #[serde(default)]
+    pub max_draw: Watts,
+    /// The contracted rack power limit; zero until the sim sets it.
+    #[serde(default)]
+    pub limit: Watts,
 }
 
 impl RackOutcome {
@@ -46,6 +65,11 @@ impl RackOutcome {
             penalty_samples: 0,
             perf_sum: 0.0,
             perf_samples: 0,
+            violation_steps: 0,
+            stale_budget_steps: 0,
+            restarts: 0,
+            max_draw: Watts::ZERO,
+            limit: Watts::ZERO,
         }
     }
 
@@ -89,6 +113,17 @@ pub struct PolicyMetrics {
     /// Mean effective speedup over turbo for demand servers (the paper's
     /// "Norm. Performance"; max turbo = 1.0, full overclock ≈ 1.21).
     pub normalized_performance: f64,
+    /// Total steps with the post-enforcement draw above the rack limit
+    /// (power-budget violations; the chaos suite pins this at zero for
+    /// SmartOClock).
+    #[serde(default)]
+    pub violation_steps: u64,
+    /// Total steps spent on stale budgets (gOA unreachable).
+    #[serde(default)]
+    pub stale_budget_steps: u64,
+    /// Total injected sOA restarts.
+    #[serde(default)]
+    pub restarts: u64,
 }
 
 impl PolicyMetrics {
@@ -123,6 +158,9 @@ impl PolicyMetrics {
             } else {
                 perf_sum / perf_samples as f64
             },
+            violation_steps: outcomes.iter().map(|o| o.violation_steps).sum(),
+            stale_budget_steps: outcomes.iter().map(|o| o.stale_budget_steps).sum(),
+            restarts: outcomes.iter().map(|o| o.restarts).sum(),
         }
     }
 }

@@ -40,6 +40,17 @@ pub struct SoaConfig {
     /// Cap on cumulative exploration above the assigned budget
     /// (default 200 W).
     pub explore_cap: Watts,
+    /// How stale the gOA-assigned budget may grow before the agent enters
+    /// degraded mode (freeze exploration, enforce the last assignment).
+    /// Only applies when budgets are stamped via
+    /// `ServerOverclockAgent::set_power_budget_at`. Default 6 minutes —
+    /// three missed 2-minute refresh cycles.
+    #[serde(default = "default_budget_staleness_limit")]
+    pub budget_staleness_limit: SimDuration,
+}
+
+fn default_budget_staleness_limit() -> SimDuration {
+    SimDuration::from_minutes(6)
 }
 
 impl SoaConfig {
@@ -57,6 +68,7 @@ impl SoaConfig {
             power_buffer: Watts::new(15.0),
             exhaustion_window: SimDuration::from_minutes(15),
             explore_cap: Watts::new(200.0),
+            budget_staleness_limit: default_budget_staleness_limit(),
         }
     }
 
@@ -100,6 +112,10 @@ impl SoaConfig {
             self.explore_cap.get() >= 0.0,
             "explore cap must be non-negative"
         );
+        assert!(
+            !self.budget_staleness_limit.is_zero(),
+            "budget staleness limit must be non-zero"
+        );
     }
 }
 
@@ -121,6 +137,7 @@ mod tests {
         assert_eq!(c.freq_step, MegaHertz::new(100));
         assert_eq!(c.exhaustion_window, SimDuration::from_minutes(15));
         assert_eq!(c.epoch, SimDuration::WEEK);
+        assert_eq!(c.budget_staleness_limit, SimDuration::from_minutes(6));
         assert!((c.overclock_time_fraction - 0.10).abs() < 1e-12);
         c.validate();
     }

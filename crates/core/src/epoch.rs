@@ -22,6 +22,9 @@ use simcore::time::{SimDuration, SimTime};
 pub struct EpochTracker {
     period: SimDuration,
     current: u64,
+    /// When the tracked state (budget split, allowances) was last refreshed;
+    /// `None` until the first [`EpochTracker::mark_refresh`].
+    last_refresh: Option<SimTime>,
 }
 
 impl EpochTracker {
@@ -31,7 +34,11 @@ impl EpochTracker {
     /// Panics if `period` is zero.
     pub fn new(period: SimDuration) -> EpochTracker {
         assert!(!period.is_zero(), "epoch period must be positive");
-        EpochTracker { period, current: 0 }
+        EpochTracker {
+            period,
+            current: 0,
+            last_refresh: None,
+        }
     }
 
     /// The paper's weekly budget-refresh epoch.
@@ -65,6 +72,21 @@ impl EpochTracker {
     /// The boundary period.
     pub fn period(&self) -> SimDuration {
         self.period
+    }
+
+    /// Record that the tracked state was refreshed at `t` (e.g. the gOA
+    /// delivered fresh budgets). Resets the staleness clock.
+    pub fn mark_refresh(&mut self, t: SimTime) {
+        self.last_refresh = Some(t);
+    }
+
+    /// Age of the tracked state at `now`: how long since the last
+    /// [`EpochTracker::mark_refresh`]. `None` before any refresh — callers
+    /// that never mark refreshes (legacy paths) see no staleness signal.
+    /// During a gOA outage this is the "running on stale budgets for X"
+    /// figure reported by degraded-mode telemetry.
+    pub fn staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.last_refresh.map(|at| now.saturating_since(at))
     }
 }
 
@@ -124,5 +146,98 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_rejected() {
         let _ = EpochTracker::new(SimDuration::ZERO);
+    }
+
+    /// Property: stepping a horizon at any stride, a boundary fires exactly
+    /// at the first observation inside each visited epoch — and when the
+    /// stride divides the period, exactly *at* the epoch edge.
+    #[test]
+    fn boundaries_fire_exactly_at_epoch_edges() {
+        let period = SimDuration::from_hours(8);
+        for stride_mins in [15u64, 60, 120, 480] {
+            let stride = SimDuration::from_minutes(stride_mins);
+            let mut epochs = EpochTracker::new(period);
+            let mut t = SimTime::ZERO;
+            let end = SimTime::ZERO + SimDuration::from_days(10);
+            while t <= end {
+                match epochs.advance(t) {
+                    Some(idx) => {
+                        // A firing observation is the first one at or past
+                        // the edge; with a dividing stride it *is* the edge.
+                        assert_eq!(epochs.index_of(t), idx);
+                        if period.as_micros().is_multiple_of(stride.as_micros()) {
+                            assert!(
+                                t.since(SimTime::ZERO)
+                                    .as_micros()
+                                    .is_multiple_of(period.as_micros()),
+                                "dividing stride must land firings on edges"
+                            );
+                        }
+                    }
+                    None => {
+                        assert_eq!(
+                            epochs.index_of(t),
+                            epochs.current(),
+                            "non-firing observations stay in the current epoch"
+                        );
+                    }
+                }
+                t += stride;
+            }
+        }
+    }
+
+    /// Property: tick 0 never fires (the tracker starts in epoch 0), and the
+    /// last instant of an epoch still belongs to it — no off-by-one at
+    /// either end.
+    #[test]
+    fn no_off_by_one_at_first_and_last_tick() {
+        let mut epochs = EpochTracker::new(SimDuration::DAY);
+        assert_eq!(epochs.advance(SimTime::ZERO), None, "tick 0 must not fire");
+        // Last representable instant of epoch 0.
+        let last_of_epoch0 = SimTime::ZERO + SimDuration::DAY - SimDuration::from_micros(1);
+        assert_eq!(epochs.advance(last_of_epoch0), None);
+        // The very next microsecond is the edge.
+        assert_eq!(
+            epochs.advance(last_of_epoch0 + SimDuration::from_micros(1)),
+            Some(1)
+        );
+        // And the last instant of epoch 1 again does not fire.
+        let last_of_epoch1 = SimTime::ZERO + SimDuration::DAY * 2 - SimDuration::from_micros(1);
+        assert_eq!(epochs.advance(last_of_epoch1), None);
+    }
+
+    /// Property: staleness is zero at a refresh, grows monotonically with
+    /// time between refreshes, and resets on the next refresh.
+    #[test]
+    fn staleness_is_monotone_between_refreshes() {
+        let mut epochs = EpochTracker::weekly();
+        assert_eq!(epochs.staleness(SimTime::ZERO), None, "no refresh yet");
+        let t0 = SimTime::ZERO + SimDuration::from_hours(1);
+        epochs.mark_refresh(t0);
+        assert_eq!(epochs.staleness(t0), Some(SimDuration::ZERO));
+        let mut prev = SimDuration::ZERO;
+        for mins in [1u64, 5, 30, 120, 600] {
+            let age = epochs
+                .staleness(t0 + SimDuration::from_minutes(mins))
+                .expect("refresh marked");
+            assert!(age >= prev, "staleness must be monotone in time");
+            assert_eq!(age, SimDuration::from_minutes(mins));
+            prev = age;
+        }
+        // Querying *before* the refresh instant saturates to zero rather
+        // than underflowing.
+        assert_eq!(
+            epochs.staleness(SimTime::ZERO),
+            Some(SimDuration::ZERO),
+            "pre-refresh queries saturate"
+        );
+        let t1 = t0 + SimDuration::from_hours(4);
+        epochs.mark_refresh(t1);
+        assert_eq!(epochs.staleness(t1), Some(SimDuration::ZERO));
+        assert_eq!(
+            epochs.staleness(t1 + SimDuration::SECOND),
+            Some(SimDuration::SECOND)
+        );
     }
 }

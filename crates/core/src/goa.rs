@@ -11,6 +11,7 @@
 
 use crate::policy::PolicyKind;
 use serde::{Deserialize, Serialize};
+use simcore::faults::FaultPlan;
 use simcore::series::TimeSeries;
 use simcore::time::SimTime;
 use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
@@ -132,6 +133,27 @@ impl GlobalOverclockAgent {
     pub fn budgets_at(&self, t: SimTime, profiles: &[ServerProfile]) -> Vec<Watts> {
         let demands: Vec<DemandProfile> = profiles.iter().map(|p| p.demand_at(t)).collect();
         self.budgets_for(&demands)
+    }
+
+    /// Fault-aware [`budgets_for`](Self::budgets_for): returns `None` while
+    /// the fault plan marks the gOA unreachable at `now` — the control plane
+    /// cannot recompute the split, and callers must keep running on whatever
+    /// budgets the sOAs last received (the paper's decentralized
+    /// fault-tolerance argument, §III-Q5).
+    ///
+    /// # Panics
+    /// Panics if `demands` is empty.
+    pub fn budgets_for_faulted(
+        &self,
+        now: SimTime,
+        demands: &[DemandProfile],
+        faults: &FaultPlan,
+    ) -> Option<Vec<Watts>> {
+        if faults.goa_unreachable(now) {
+            None
+        } else {
+            Some(self.budgets_for(demands))
+        }
     }
 
     /// [`budgets_for`](Self::budgets_for) plus a `budget_split` telemetry
@@ -293,5 +315,36 @@ mod tests {
     #[should_panic(expected = "rack limit must be positive")]
     fn rejects_zero_limit() {
         let _ = GlobalOverclockAgent::new(Watts::ZERO, PolicyKind::SmartOClock);
+    }
+
+    #[test]
+    fn faulted_budgets_withhold_during_outage() {
+        use simcore::faults::FaultPlanConfig;
+        let goa = GlobalOverclockAgent::new(Watts::new(1300.0), PolicyKind::SmartOClock);
+        let demands = [
+            DemandProfile {
+                regular: Watts::new(400.0),
+                overclock_demand: Watts::new(50.0),
+            },
+            DemandProfile {
+                regular: Watts::new(300.0),
+                overclock_demand: Watts::new(100.0),
+            },
+        ];
+        let cfg = FaultPlanConfig {
+            goa_outages: 1,
+            goa_outage_len: SimDuration::WEEK,
+            ..FaultPlanConfig::none()
+        };
+        let plan = FaultPlan::generate(&cfg, SimTime::ZERO, SimTime::ZERO + SimDuration::WEEK);
+        // The single week-long outage covers the whole horizon.
+        let during = plan.outages()[0].start;
+        assert_eq!(goa.budgets_for_faulted(during, &demands, &plan), None);
+        // A zero-fault plan always answers.
+        let healthy = FaultPlan::none();
+        assert_eq!(
+            goa.budgets_for_faulted(during, &demands, &healthy),
+            Some(goa.budgets_for(&demands))
+        );
     }
 }

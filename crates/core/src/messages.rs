@@ -157,6 +157,9 @@ pub enum GrantEndReason {
     LifetimeBudgetExhausted,
     /// The scheduled duration completed.
     ScheduleComplete,
+    /// The sOA restarted and lost its volatile grant state; the server
+    /// re-joins conservatively at the default frequency.
+    AgentRestart,
 }
 
 /// The resource an [`SoaEvent::ExhaustionWarning`] refers to.

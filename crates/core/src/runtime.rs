@@ -51,6 +51,11 @@ enum AgentMsg {
     },
     SetBudget(Watts),
     SetTemplate(Box<PowerTemplate>),
+    /// Fault injection: the agent process restarts, losing volatile state;
+    /// revocation events flow out through the regular event stream.
+    Restart {
+        now: SimTime,
+    },
     /// Barrier: the thread replies once every earlier message is processed.
     Sync(Sender<()>),
     Shutdown,
@@ -165,6 +170,13 @@ impl RackRuntime {
                             }
                             AgentMsg::SetBudget(b) => agent.set_power_budget(b),
                             AgentMsg::SetTemplate(t) => agent.set_power_template(*t),
+                            AgentMsg::Restart { now } => {
+                                last_tick = now;
+                                for event in agent.restart(now) {
+                                    let _ = events_tx.send((now, index, event));
+                                }
+                                stats.lock()[index] = agent.stats();
+                            }
                             AgentMsg::Sync(reply) => {
                                 spool.flush();
                                 let _ = reply.send(());
@@ -237,6 +249,20 @@ impl RackRuntime {
     pub fn set_budget(&self, index: usize, budget: Watts) {
         self.senders[index]
             .send(AgentMsg::SetBudget(budget))
+            .expect("agent thread is alive");
+    }
+
+    /// Inject an sOA restart on server `index` (fault injection): the agent
+    /// loses its volatile state and re-joins conservatively — its grants are
+    /// revoked (visible via [`drain_events`](Self::drain_events)) and
+    /// admission denies everything until a fresh budget arrives via
+    /// [`set_budget`](Self::set_budget).
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range or the agent thread is gone.
+    pub fn restart(&self, index: usize, now: SimTime) {
+        self.senders[index]
+            .send(AgentMsg::Restart { now })
             .expect("agent thread is alive");
     }
 
@@ -478,6 +504,39 @@ mod tests {
                 "within one tick, servers ascend: {servers:?}"
             );
         }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn restart_revokes_grants_and_rejoins_conservatively() {
+        let rt = runtime(1);
+        let grant = rt
+            .request(0, SimTime::ZERO, oc_request())
+            .expect("headroom before the fault");
+        // The process restarts: volatile state is gone.
+        rt.restart(0, SimTime::from_secs(30));
+        rt.sync();
+        let events = rt.drain_events();
+        assert!(
+            events.iter().any(|(_, e)| matches!(
+                e,
+                SoaEvent::GrantEnded {
+                    grant: g,
+                    reason: crate::messages::GrantEndReason::AgentRestart,
+                } if *g == grant
+            )),
+            "restart must revoke the live grant: {events:?}"
+        );
+        // Conservative re-join: no budget yet, so admission denies.
+        let err = rt
+            .request(0, SimTime::from_secs(31), oc_request())
+            .unwrap_err();
+        assert_eq!(err, RejectReason::PowerBudget);
+        // A fresh gOA assignment restores service.
+        rt.set_budget(0, Watts::new(450.0));
+        let _ = rt
+            .request(0, SimTime::from_secs(32), oc_request())
+            .expect("fresh budget restores admission");
         rt.shutdown();
     }
 

@@ -52,6 +52,7 @@ fn end_label(reason: GrantEndReason) -> &'static str {
         GrantEndReason::Released => "released",
         GrantEndReason::LifetimeBudgetExhausted => "lifetime_exhausted",
         GrantEndReason::ScheduleComplete => "schedule_complete",
+        GrantEndReason::AgentRestart => "agent_restart",
     }
 }
 
@@ -136,6 +137,16 @@ pub struct ServerOverclockAgent {
     explorer: Explorer,
     last_tick: Option<SimTime>,
     last_measured: Option<Watts>,
+    /// When the gOA last refreshed the budget via
+    /// [`Self::set_power_budget_at`]. `None` disables staleness tracking
+    /// (legacy [`Self::set_power_budget`] callers and naive policies).
+    budget_refreshed_at: Option<SimTime>,
+    /// Set while the agent is in degraded mode (budget staleness exceeded
+    /// the configured limit): the instant degradation began.
+    degraded_since: Option<SimTime>,
+    /// Causal decision id of the `degraded_enter` event, used as the
+    /// `cause_id` of the matching `degraded_exit`.
+    degraded_decision: u64,
     power_rejected: bool,
     last_power_warning_eta: Option<SimTime>,
     last_lifetime_warning_eta: Option<SimTime>,
@@ -173,6 +184,9 @@ impl ServerOverclockAgent {
             },
             last_tick: None,
             last_measured: None,
+            budget_refreshed_at: None,
+            degraded_since: None,
+            degraded_decision: 0,
             power_rejected: false,
             last_power_warning_eta: None,
             last_lifetime_warning_eta: None,
@@ -211,10 +225,44 @@ impl ServerOverclockAgent {
 
     /// Assign a new power budget (from the gOA's heterogeneous split).
     /// Resets any exploration on top of the old budget.
+    ///
+    /// Staleness tracking stays disabled on this path: callers that never
+    /// refresh (naive policies, tests) must not drift into degraded mode.
+    /// Control planes with a refresh cadence use
+    /// [`Self::set_power_budget_at`].
     pub fn set_power_budget(&mut self, budget: Watts) {
         self.assigned_budget = budget.clamp_non_negative();
         self.explorer.extra = Watts::ZERO;
         self.explorer.phase = Phase::Idle;
+    }
+
+    /// [`Self::set_power_budget`] stamped with the refresh instant, enabling
+    /// budget-staleness tracking: if no further refresh arrives within
+    /// `SoaConfig::budget_staleness_limit` (gOA outage, dropped messages)
+    /// the agent enters degraded mode on its next control tick — it stops
+    /// exploring beyond the stale assignment and keeps enforcing it, which
+    /// is the paper's decentralized fault-tolerance argument (§III-Q5).
+    pub fn set_power_budget_at(&mut self, now: SimTime, budget: Watts) {
+        self.set_power_budget(budget);
+        self.budget_refreshed_at = Some(now);
+        if let Some(since) = self.degraded_since.take() {
+            tm_event!(self.telemetry, now, Component::Fault, Severity::Info, "degraded_exit",
+                "server" => self.server_id,
+                "degraded_us" => now.saturating_since(since),
+                "cause_id" => self.degraded_decision);
+            self.degraded_decision = 0;
+        }
+    }
+
+    /// Age of the assigned budget at `now`, when staleness tracking is
+    /// enabled (a [`Self::set_power_budget_at`] call has been made).
+    pub fn budget_staleness(&self, now: SimTime) -> Option<SimDuration> {
+        self.budget_refreshed_at.map(|at| now.saturating_since(at))
+    }
+
+    /// Whether the agent is running degraded on a stale budget.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.is_some()
     }
 
     /// The budget the feedback loop currently enforces: assigned plus any
@@ -483,6 +531,7 @@ impl ServerOverclockAgent {
     ) -> Vec<SoaEvent> {
         let mut events = Vec::new();
         self.roll_epoch(now);
+        self.check_staleness(now);
         let dt = match self.last_tick {
             Some(last) => now.saturating_since(last),
             None => SimDuration::ZERO,
@@ -747,9 +796,101 @@ impl ServerOverclockAgent {
         // Inside the hold band: do nothing.
     }
 
+    /// Enter degraded mode when the assigned budget has gone stale (no gOA
+    /// refresh within `budget_staleness_limit`). Degraded agents freeze
+    /// exploration and fall back to enforcing the last assignment — the
+    /// safe-on-stale-budgets behaviour the paper's decentralized design
+    /// promises (§III-Q5). Exit happens in [`Self::set_power_budget_at`]
+    /// when a fresh budget finally lands.
+    fn check_staleness(&mut self, now: SimTime) {
+        if self.degraded_since.is_some() {
+            return;
+        }
+        let Some(age) = self.budget_staleness(now) else {
+            return;
+        };
+        if age < self.config.budget_staleness_limit {
+            return;
+        }
+        self.degraded_since = Some(now);
+        self.explorer.extra = Watts::ZERO;
+        self.explorer.phase = Phase::Idle;
+        let decision = self.telemetry.next_id();
+        self.degraded_decision = decision;
+        tm_event!(self.telemetry, now, Component::Fault, Severity::Warn, "degraded_enter",
+            "server" => self.server_id,
+            "stale_us" => age,
+            "decision_id" => decision);
+        self.telemetry.metrics(|m| {
+            m.inc_counter("soa_degraded_entries", &[("server", self.server_id.into())]);
+        });
+    }
+
+    /// Simulate an sOA process restart (fault injection): all volatile
+    /// control state is lost and the server re-joins conservatively — every
+    /// live grant is revoked back to the default (turbo) frequency, the
+    /// power template is forgotten, and the assigned budget drops to zero so
+    /// no overclocking is admitted until the gOA assigns a fresh budget.
+    ///
+    /// Durable state survives: the lifetime ledger and per-core
+    /// time-in-state counters model physical wear already incurred (the
+    /// paper's reliability accounting is persisted platform-side), and the
+    /// cumulative stats are measurement, not control state. Grant ids keep
+    /// counting up so post-restart grants never collide with revoked ones.
+    ///
+    /// Returns the revocation events the platform must apply, exactly like
+    /// [`Self::control_tick`].
+    pub fn restart(&mut self, now: SimTime) -> Vec<SoaEvent> {
+        let turbo = self.model.plan().turbo();
+        let mut events = Vec::new();
+        let dropped = self.grants.len();
+        let ids: Vec<GrantId> = self.grants.keys().copied().collect();
+        for id in ids {
+            events.push(SoaEvent::SetFrequency {
+                grant: id,
+                frequency: turbo,
+            });
+            events.push(SoaEvent::GrantEnded {
+                grant: id,
+                reason: GrantEndReason::AgentRestart,
+            });
+        }
+        self.grants.clear();
+        self.grant_decisions.clear();
+        self.explorer = Explorer {
+            phase: Phase::Idle,
+            extra: Watts::ZERO,
+            backoff: self.config.backoff_initial,
+        };
+        self.template = None;
+        self.assigned_budget = Watts::ZERO;
+        self.last_tick = None;
+        self.last_measured = None;
+        self.power_rejected = false;
+        self.last_power_warning_eta = None;
+        self.last_lifetime_warning_eta = None;
+        self.last_admission_decision = 0;
+        self.budget_refreshed_at = None;
+        self.degraded_since = None;
+        self.degraded_decision = 0;
+        tm_event!(self.telemetry, now, Component::Fault, Severity::Warn, "fault_injected",
+            "server" => self.server_id,
+            "kind" => "soa_restart",
+            "dropped_grants" => dropped,
+            "decision_id" => self.telemetry.next_id());
+        self.telemetry.metrics(|m| {
+            m.inc_counter("soa_restarts", &[("server", self.server_id.into())]);
+        });
+        events
+    }
+
     /// Exploration/exploitation phase transitions (§IV-D).
     fn explore_step(&mut self, now: SimTime, measured: Watts) {
         if !self.policy.explores() {
+            return;
+        }
+        if self.degraded_since.is_some() {
+            // Degraded: never push beyond the stale assignment.
             return;
         }
         let extra_before = self.explorer.extra;

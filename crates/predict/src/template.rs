@@ -195,6 +195,27 @@ impl PowerTemplate {
         }
     }
 
+    /// Apply `f` to every stored value, producing a new template. Used by
+    /// fault injection to install a static prediction bias (e.g.
+    /// `t.map_values(|v| v * 1.1)` makes the template over-predict by 10 %)
+    /// without exposing the internal representation.
+    pub fn map_values(mut self, f: impl Fn(f64) -> f64) -> PowerTemplate {
+        match &mut self.repr {
+            Repr::Flat(v) => *v = f(*v),
+            Repr::Week(week) => {
+                for v in week {
+                    *v = f(*v);
+                }
+            }
+            Repr::Daily { weekday, weekend } => {
+                for v in weekday.iter_mut().chain(weekend.iter_mut()) {
+                    *v = f(*v);
+                }
+            }
+        }
+        self
+    }
+
     /// Earliest instant at or after `from` where the prediction is at least
     /// `threshold`, searching up to `horizon` ahead. Used by the sOA's
     /// time-to-power-exhaustion check (§IV-D).
@@ -259,6 +280,27 @@ mod tests {
                 base + if t.week_index() == 1 { 5.0 } else { 0.0 }
             },
         )
+    }
+
+    #[test]
+    fn map_values_scales_predictions_everywhere() {
+        let h = history();
+        for kind in TemplateKind::ALL {
+            let base = PowerTemplate::build(&h, kind);
+            let biased = base.clone().map_values(|v| v * 1.1);
+            assert_eq!(biased.kind(), base.kind());
+            let mut t = SimTime::ZERO;
+            while t < SimTime::ZERO + SimDuration::from_days(9) {
+                let expect = base.predict(t) * 1.1;
+                assert!(
+                    (biased.predict(t) - expect).abs() < 1e-9,
+                    "{kind:?} at {t:?}"
+                );
+                t += SimDuration::from_hours(5);
+            }
+            // Identity map leaves the template bit-identical.
+            assert_eq!(base.clone().map_values(|v| v), base);
+        }
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! * [`time`] — simulated time ([`SimTime`], [`SimDuration`]) with calendar
 //!   helpers (time-of-day, weekday) used by power templates and epochs.
 //! * [`event`] — a deterministic discrete-event queue ([`event::EventQueue`]).
+//! * [`faults`] — seeded, sim-time fault schedules ([`faults::FaultPlan`])
+//!   for control-plane chaos testing; pure functions of the plan seed, so
+//!   fault timelines are byte-reproducible and shard-order independent.
 //! * [`engine`] — a minimal discrete-event execution loop ([`engine::Engine`]).
 //! * [`rng`] — a seeded PCG32 generator ([`rng::Pcg32`]) plus the sampling
 //!   distributions the workload and trace generators need.
@@ -34,6 +37,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod hist;
 pub mod par;
 pub mod report;

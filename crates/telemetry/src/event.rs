@@ -29,6 +29,8 @@ pub enum Component {
     Sim,
     /// End-of-run metrics registry dump (`metric` records).
     Metrics,
+    /// Fault-injection layer (chaos schedules, degraded-mode transitions).
+    Fault,
 }
 
 impl Component {
@@ -42,6 +44,7 @@ impl Component {
             Component::Harness => "harness",
             Component::Sim => "sim",
             Component::Metrics => "metrics",
+            Component::Fault => "fault",
         }
     }
 }
@@ -232,6 +235,7 @@ mod tests {
     #[test]
     fn identifiers_are_stable() {
         assert_eq!(Component::Goa.as_str(), "goa");
+        assert_eq!(Component::Fault.as_str(), "fault");
         assert_eq!(Severity::Error.as_str(), "error");
         assert_eq!(format!("{}", Component::Harness), "harness");
     }

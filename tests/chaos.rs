@@ -1,0 +1,217 @@
+//! Chaos regression suite: graceful degradation under deterministic fault
+//! injection.
+//!
+//! Three guarantees are pinned here across the public crate APIs:
+//!
+//! 1. **Safety under faults** — with local (decentralized) enforcement, the
+//!    post-enforcement rack draw never exceeds the contracted limit under
+//!    *any* generated fault plan: gOA outages, dropped/delayed budget
+//!    updates, telemetry gaps, prediction bias/noise, and sOA restarts.
+//! 2. **Deterministic chaos** — fault schedules are part of the seed: the
+//!    same `FaultPlanConfig` reproduces byte-identical traces, metrics and
+//!    outcomes, and `--threads N` matches `--threads 1` with faults active
+//!    (CI runs this at `SOC_SIM_THREADS=1` and `=4`).
+//! 3. **Zero-fault transparency** — a plan whose probabilities are all zero
+//!    leaves every trace byte-identical to a run with the default (no-op)
+//!    fault config, regardless of the fault seed.
+//!
+//! A fail-open centralized baseline under a long outage is the teeth of the
+//! suite: it must violate the budget, proving the invariant in (1) is not
+//! vacuous.
+
+use simcore::faults::FaultPlanConfig;
+use simcore::time::SimDuration;
+use smartoclock::policy::PolicyKind;
+use soc_cluster::harness::{ClusterConfig, SystemKind};
+use soc_cluster::largescale::LargeScaleConfig;
+use soc_cluster::shard::{run_cluster_sims, simulate_policy_sharded};
+use soc_telemetry::json::event_to_json;
+use soc_telemetry::Telemetry;
+
+/// The "many threads" side of the invariance checks (see
+/// `tests/determinism.rs`); CI sets `SOC_SIM_THREADS` to 1 and 4.
+fn multi_threads() -> usize {
+    std::env::var("SOC_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
+/// An aggressive every-fault-at-once plan, parameterized by seed.
+fn hostile_faults(seed: u64) -> FaultPlanConfig {
+    FaultPlanConfig {
+        seed,
+        goa_outages: 2,
+        goa_outage_len: SimDuration::from_hours(12),
+        budget_drop_prob: 0.3,
+        budget_delay_prob: 0.3,
+        budget_delay: SimDuration::from_minutes(30),
+        telemetry_gap_prob: 0.2,
+        prediction_bias: 0.9, // systematic under-prediction: worst case
+        prediction_noise: 0.1,
+        soa_restart_prob: 0.01,
+    }
+}
+
+fn faulted_config(sim_seed: u64, fault_seed: u64) -> LargeScaleConfig {
+    let mut cfg = LargeScaleConfig::small_test();
+    cfg.seed = sim_seed;
+    cfg.faults = hostile_faults(fault_seed);
+    cfg
+}
+
+/// Run one traced policy simulation; return (trace lines, rendered metrics,
+/// outcomes).
+fn traced_run(
+    cfg: &LargeScaleConfig,
+    policy: PolicyKind,
+    threads: usize,
+) -> (
+    Vec<String>,
+    String,
+    Vec<soc_cluster::largescale_metrics::RackOutcome>,
+) {
+    let (tm, sink) = Telemetry::memory();
+    let outcomes = simulate_policy_sharded(cfg, policy, &tm, threads);
+    let lines: Vec<String> = sink.events().iter().map(event_to_json).collect();
+    let metrics = tm.metrics_snapshot().render();
+    (lines, metrics, outcomes)
+}
+
+#[test]
+fn rack_power_never_exceeds_budget_under_any_fault_plan() {
+    for fault_seed in [1, 2, 3] {
+        let cfg = faulted_config(42, fault_seed);
+        let outcomes =
+            simulate_policy_sharded(&cfg, PolicyKind::SmartOClock, &Telemetry::disabled(), 1);
+        let stale: u64 = outcomes.iter().map(|o| o.stale_budget_steps).sum();
+        assert!(
+            stale > 0,
+            "fault seed {fault_seed}: outages must actually land in the horizon"
+        );
+        for o in &outcomes {
+            assert_eq!(
+                o.violation_steps, 0,
+                "fault seed {fault_seed}, rack {}: local enforcement must hold the budget",
+                o.rack
+            );
+            assert!(
+                o.max_draw <= o.limit,
+                "fault seed {fault_seed}, rack {}: max draw {:?} exceeds limit {:?}",
+                o.rack,
+                o.max_draw,
+                o.limit
+            );
+        }
+    }
+}
+
+#[test]
+fn fail_open_central_violates_under_long_outage_proving_teeth() {
+    // The safety invariant above must not pass vacuously: the same fault
+    // plans against a fail-open centralized controller (grants keep running
+    // unenforced while the arbiter is down) do violate the budget. Whether
+    // a given outage window overlaps enough overclock demand depends on
+    // where it lands, so the check sums over the same fault seeds the
+    // safety test sweeps.
+    let mut violations = 0u64;
+    for fault_seed in [1, 2, 3] {
+        let mut cfg = faulted_config(42, fault_seed);
+        cfg.central_fail_open = true;
+        let outcomes =
+            simulate_policy_sharded(&cfg, PolicyKind::Central, &Telemetry::disabled(), 1);
+        violations += outcomes.iter().map(|o| o.violation_steps).sum::<u64>();
+    }
+    assert!(
+        violations > 0,
+        "fail-open central under 12h outages must violate the budget \
+         (otherwise the zero-violation invariant proves nothing)"
+    );
+}
+
+#[test]
+fn fault_schedules_are_byte_reproducible() {
+    let cfg = faulted_config(7, 11);
+    let a = traced_run(&cfg, PolicyKind::SmartOClock, 1);
+    let b = traced_run(&cfg, PolicyKind::SmartOClock, 1);
+    assert!(!a.0.is_empty(), "faulted runs must emit trace events");
+    assert_eq!(a.0, b.0, "same fault seed must emit identical trace lines");
+    assert_eq!(a.1, b.1, "same fault seed must render identical metrics");
+    assert_eq!(a.2, b.2, "same fault seed must produce identical outcomes");
+    // And the schedule is genuinely seed-dependent.
+    let c = traced_run(&faulted_config(7, 12), PolicyKind::SmartOClock, 1);
+    assert_ne!(a.2, c.2, "different fault seeds must change outcomes");
+}
+
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    let cfg = faulted_config(42, 5);
+    let n = multi_threads();
+    let serial = traced_run(&cfg, PolicyKind::SmartOClock, 1);
+    let sharded = traced_run(&cfg, PolicyKind::SmartOClock, n);
+    assert_eq!(
+        serial.0, sharded.0,
+        "faulted trace must be byte-identical at 1 vs {n} threads"
+    );
+    assert_eq!(
+        serial.1, sharded.1,
+        "faulted metrics must be identical at 1 vs {n} threads"
+    );
+    assert_eq!(
+        serial.2, sharded.2,
+        "faulted outcomes must be identical at 1 vs {n} threads"
+    );
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_unfaulted_run() {
+    let mut clean = LargeScaleConfig::small_test();
+    clean.seed = 42;
+    let mut noop = clean.clone();
+    // All probabilities zero and no outages: the fault seed must be inert.
+    noop.faults = FaultPlanConfig {
+        seed: 0xDEAD_BEEF,
+        ..FaultPlanConfig::none()
+    };
+    let a = traced_run(&clean, PolicyKind::SmartOClock, 1);
+    let b = traced_run(&noop, PolicyKind::SmartOClock, 1);
+    assert_eq!(a.0, b.0, "no-op fault plan must not change a single byte");
+    assert_eq!(a.1, b.1, "no-op fault plan must not change metrics");
+    assert_eq!(a.2, b.2, "no-op fault plan must not change outcomes");
+}
+
+#[test]
+fn cluster_harness_chaos_is_thread_count_invariant() {
+    let configs = || {
+        let mut smart = ClusterConfig::small_test(SystemKind::SmartOClock);
+        smart.faults.seed = 11;
+        smart.faults.goa_outages = 1;
+        smart.faults.goa_outage_len = SimDuration::from_minutes(2);
+        smart.faults.budget_drop_prob = 0.25;
+        smart.faults.soa_restart_prob = 0.05;
+        let mut naive = ClusterConfig::small_test(SystemKind::NaiveOClock);
+        naive.faults.soa_restart_prob = 0.05;
+        vec![smart, naive]
+    };
+    let run = |threads: usize| {
+        let (tm, sink) = Telemetry::memory();
+        let results = run_cluster_sims(configs(), &tm, threads);
+        let lines: Vec<String> = sink.events().iter().map(event_to_json).collect();
+        (results, lines, tm.metrics_snapshot().render())
+    };
+    let serial = run(1);
+    let sharded = run(multi_threads());
+    assert_eq!(
+        serial.0, sharded.0,
+        "faulted cluster results must not depend on threads"
+    );
+    assert_eq!(
+        serial.1, sharded.1,
+        "faulted cluster traces must not depend on threads"
+    );
+    assert_eq!(
+        serial.2, sharded.2,
+        "faulted cluster metrics must not depend on threads"
+    );
+}

@@ -16,11 +16,17 @@
 //!
 //! and commit the diff together with a justification.
 
+use simcore::faults::FaultPlanConfig;
 use simcore::time::SimDuration;
+use smartoclock::policy::PolicyKind;
 use soc_cluster::envs::{run_at_rate, Environment};
+use soc_cluster::largescale::LargeScaleConfig;
+use soc_cluster::largescale_metrics::PolicyMetrics;
+use soc_cluster::shard::simulate_policy_sharded;
 use soc_power::freq::FrequencyPlan;
 use soc_predict::eval::walk_forward;
 use soc_predict::template::TemplateKind;
+use soc_telemetry::Telemetry;
 use soc_traces::gen::{FleetConfig, TraceGenerator};
 use soc_workloads::microservice::ServiceSpec;
 use std::fmt::Write as _;
@@ -63,6 +69,33 @@ fn compute_summary() -> String {
                 out,
                 "fig16 rps_k={rps_k:.1} env={env:?} util={:.6} p99_ms={:.6} slo_miss={:.6}",
                 r.cpu_utilization, r.p99_ms, r.slo_miss_frac
+            );
+        }
+    }
+
+    // --- exp_fault_tolerance slice: the tiny-fixture form of the bench's
+    // gOA-outage comparison (the binary runs 8-24 racks; this pins 4).
+    for (label, hours) in [("none", 0u64), ("2h", 2), ("12h", 12)] {
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.faults = FaultPlanConfig {
+            seed: 42,
+            goa_outages: if hours == 0 { 0 } else { 2 },
+            goa_outage_len: SimDuration::from_hours(hours),
+            ..FaultPlanConfig::none()
+        };
+        for (system, policy, fail_open) in [
+            ("smart", PolicyKind::SmartOClock, false),
+            ("central_stop", PolicyKind::Central, false),
+            ("central_open", PolicyKind::Central, true),
+        ] {
+            cfg.central_fail_open = fail_open;
+            let outcomes = simulate_policy_sharded(&cfg, policy, &Telemetry::disabled(), 1);
+            let m = PolicyMetrics::aggregate(policy, &outcomes);
+            let _ = writeln!(
+                out,
+                "fault_tolerance outage={label} system={system} violations={} \
+                 stale_steps={} success={:.6} granted={}",
+                m.violation_steps, m.stale_budget_steps, m.success_rate, m.granted
             );
         }
     }
