@@ -12,9 +12,11 @@ use simcore::report::{fmt_pct, Table};
 use simcore::time::SimDuration;
 use soc_bench::Cli;
 use soc_cluster::datacenter::{simulate_datacenter, DatacenterConfig};
+use std::time::Instant;
 
 fn main() {
     let cli = Cli::from_env();
+    let prof = cli.profiler("exp_datacenter");
     let mut t = Table::new(&[
         "feed / rack-limit sum",
         "feed overloads (flat)",
@@ -29,6 +31,7 @@ fn main() {
         "simulating feeds at {fractions:?} ({} threads)...",
         cli.effective_threads()
     );
+    let sweep_start = Instant::now();
     let outcomes = par::par_map(cli.effective_threads(), fractions, |_, feed_fraction| {
         let cfg = DatacenterConfig {
             racks: if cli.fast { 4 } else { 12 },
@@ -39,6 +42,8 @@ fn main() {
         };
         (feed_fraction, simulate_datacenter(&cfg))
     });
+    prof.record("feed_sweep", sweep_start.elapsed());
+    prof.add("feeds", outcomes.len() as u64);
     for (feed_fraction, o) in outcomes {
         t.row(&[
             fmt_pct(feed_fraction),
@@ -57,4 +62,5 @@ fn main() {
          cost of some grants; flat rack-local enforcement overloads it whenever \
          rack peaks coincide."
     );
+    cli.finish_prof(&prof);
 }

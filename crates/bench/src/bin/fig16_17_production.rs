@@ -14,9 +14,11 @@ use soc_cluster::envs::{run_at_rate, Environment};
 use soc_power::freq::FrequencyPlan;
 use soc_traces::services::service_c;
 use soc_workloads::microservice::ServiceSpec;
+use std::time::Instant;
 
 fn main() {
     let cli = Cli::from_env();
+    let prof = cli.profiler("fig16_17_production");
     let plan = FrequencyPlan::amd_reference();
     let measure = if cli.fast {
         SimDuration::from_secs(60)
@@ -40,6 +42,7 @@ fn main() {
     // Rate points are independent runs; shard them across workers and
     // collect in sweep order (byte-identical output for any --threads).
     let threads = cli.effective_threads();
+    let sweep_start = Instant::now();
     let sweep = par::par_map(
         threads,
         vec![0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8],
@@ -64,6 +67,8 @@ fn main() {
             (rps_k, base, oc)
         },
     );
+    prof.record("fig16/rps_sweep", sweep_start.elapsed());
+    prof.add("service_runs", sweep.len() as u64 * 2);
     for (rps_k, base, oc) in sweep {
         if rps_k == 1.8 {
             peak_base = base.cpu_utilization;
@@ -84,6 +89,7 @@ fn main() {
     // Iso-utilization throughput: what RPS does the baseline need to match
     // the overclocked deployment's utilization at 1.8k?
     let mut iso_rps = 0.0;
+    let iso_start = Instant::now();
     let iso_sweep = par::par_map(
         threads,
         (600..=1800).step_by(50).collect(),
@@ -100,6 +106,8 @@ fn main() {
             (f64::from(rps), r.cpu_utilization)
         },
     );
+    prof.record("fig16/iso_sweep", iso_start.elapsed());
+    prof.add("service_runs", iso_sweep.len() as u64);
     for (rps, util) in iso_sweep {
         if util <= peak_oc {
             iso_rps = rps;
@@ -117,6 +125,7 @@ fn main() {
     let profile = service_c();
     let day = SimTime::ZERO + SimDuration::from_days(1);
     let ratio = plan.turbo().ratio(plan.max_overclock());
+    let fig17_start = Instant::now();
     let mut fig17 = Table::new(&["hour", "peak util (baseline)", "peak util (overclocked)"]);
     let mut base_peaks = Vec::new();
     let mut oc_peaks = Vec::new();
@@ -140,8 +149,10 @@ fn main() {
     println!("== Fig. 17: Service C 5-minute peak utilization over a weekday ==");
     println!("{}", fig17.render());
     let mean_reduction = 1.0 - oc_peaks.iter().sum::<f64>() / base_peaks.iter().sum::<f64>();
+    prof.record("fig17/peaks", fig17_start.elapsed());
     println!(
         "mean 5-minute-peak reduction with overclocking: {} (paper: 16%)",
         fmt_pct(mean_reduction)
     );
+    cli.finish_prof(&prof);
 }

@@ -1,20 +1,41 @@
-//! Sharded-execution speedup benchmark.
+//! Sharded-execution speedup benchmark and the CI perf baseline.
 //!
 //! Times the large-scale policy simulation at `--threads 1` and at the
 //! requested (default: auto) thread count, checks the outcomes are
-//! identical, and writes a small JSON summary for CI artifact upload.
+//! identical, and emits the measurement as a canonical `soc-prof` snapshot
+//! (`soc_prof::Snapshot`) — per-phase wall-clock from the sharded engine's
+//! probes (`shard/sim`, `shard/trace_gen`, `merge`, per-step `rack/*`),
+//! throughput counters (`racks`, `sim_steps`, `merged_events`), speedup,
+//! peak RSS, and allocation counts.
 //!
-//! The speedup figure is only meaningful on multi-core hardware; the JSON
-//! records `cores` so consumers can judge the number in context.
+//! The committed baseline `BENCH_largescale.json` at the workspace root is
+//! this snapshot for the pinned configuration `--fast --threads 2` (8
+//! racks, 2 weeks, 15-minute steps, seed 42). Regenerate it with
+//!
+//! ```text
+//! SOC_UPDATE_BASELINE=1 cargo run --release --bin par_speedup -- --fast --threads 2
+//! ```
+//!
+//! and CI gates on `soc-prof diff BENCH_largescale.json <fresh run>`.
+//!
+//! The speedup figure is only meaningful on multi-core hardware; the
+//! snapshot records `cores` in its metadata so consumers can judge the
+//! number in context.
 
 use simcore::par;
 use smartoclock::policy::PolicyKind;
+use soc_bench::probe::ProfProbe;
 use soc_bench::Cli;
 use soc_cluster::largescale::LargeScaleConfig;
-use soc_cluster::shard::simulate_policy_sharded;
+use soc_cluster::shard::{simulate_policy_sharded, simulate_policy_sharded_probed};
+use soc_prof::Profiler;
 use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 use std::time::Instant;
+
+// Count allocations into the snapshot's `alloc_count` / `alloc_bytes`.
+#[global_allocator]
+static ALLOC: soc_prof::CountingAlloc = soc_prof::CountingAlloc;
 
 fn main() {
     let cli = Cli::from_env();
@@ -29,31 +50,51 @@ fn main() {
     let threads = cli.effective_threads().max(2);
     let telemetry = Telemetry::disabled();
 
+    // This binary's whole job is measurement, so the profiler is always on
+    // (no --prof needed). The snapshot name is the baseline's identity.
+    let prof = Profiler::new("largescale");
+    prof.set_meta("experiment", "par_speedup");
+    prof.set_meta("racks", racks);
+    prof.set_meta("weeks", config.weeks);
+    prof.set_meta("step_minutes", config.step.as_hours_f64() * 60.0);
+    prof.set_meta("seed", cli.seed);
+    prof.set_meta("threads", threads);
+    prof.set_meta("cores", par::available_parallelism());
+
     eprintln!("timing {racks} racks serial (1 thread)...");
     let t0 = Instant::now();
     let serial = simulate_policy_sharded(&config, PolicyKind::SmartOClock, &telemetry, 1);
-    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_elapsed = t0.elapsed();
+    prof.record("run/serial", serial_elapsed);
 
     eprintln!("timing {racks} racks sharded ({threads} threads)...");
+    let probe = ProfProbe::new(prof.clone());
     let t1 = Instant::now();
-    let sharded = simulate_policy_sharded(&config, PolicyKind::SmartOClock, &telemetry, threads);
-    let sharded_secs = t1.elapsed().as_secs_f64();
+    let sharded = simulate_policy_sharded_probed(
+        &config,
+        PolicyKind::SmartOClock,
+        &telemetry,
+        threads,
+        &probe,
+    );
+    let sharded_elapsed = t1.elapsed();
+    prof.record("run/sharded", sharded_elapsed);
 
     let identical = serial == sharded;
-    let speedup = serial_secs / sharded_secs.max(1e-9);
-    let json = format!(
-        "{{\n  \"experiment\": \"par_speedup\",\n  \"racks\": {racks},\n  \
-         \"weeks\": {},\n  \"cores\": {},\n  \"threads\": {threads},\n  \
-         \"serial_secs\": {serial_secs:.3},\n  \"sharded_secs\": {sharded_secs:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \"outcomes_identical\": {identical}\n}}\n",
-        config.weeks,
-        par::available_parallelism(),
-    );
-    match std::fs::write(&out, &json) {
+    let serial_secs = serial_elapsed.as_secs_f64();
+    let sharded_secs = sharded_elapsed.as_secs_f64().max(1e-9);
+    let speedup = serial_secs / sharded_secs;
+    let steps: u64 = sharded.iter().map(|o| o.steps).sum();
+    prof.set_rate("speedup", speedup);
+    prof.set_rate("racks_per_sec", racks as f64 / sharded_secs);
+    prof.set_rate("sim_steps_per_sec", steps as f64 / sharded_secs);
+
+    let snap = prof.snapshot();
+    match std::fs::write(&out, snap.to_json()) {
         Ok(()) => eprintln!("wrote {}", out.display()),
         Err(e) => eprintln!("warning: failed to write {}: {e}", out.display()),
     }
-    print!("{json}");
+    print!("{}", snap.render());
     println!(
         "speedup at {threads} threads on {} core(s): {speedup:.2}x (outcomes identical: {identical})",
         par::available_parallelism()
@@ -64,8 +105,11 @@ fn main() {
     }
 }
 
-/// `--out <path>` is specific to this binary; parse it directly from the
-/// raw args (the shared [`Cli`] ignores flags it does not know).
+/// Output path precedence: `--out <path>`, else `SOC_UPDATE_BASELINE=1`
+/// selects the committed baseline at the workspace root, else
+/// `par_speedup.json` in the current directory. `--out` is specific to this
+/// binary; parse it directly from the raw args (the shared [`Cli`] ignores
+/// flags it does not know).
 fn out_path() -> PathBuf {
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -74,6 +118,9 @@ fn out_path() -> PathBuf {
                 return PathBuf::from(v);
             }
         }
+    }
+    if std::env::var_os("SOC_UPDATE_BASELINE").is_some_and(|v| v == "1") {
+        return PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_largescale.json");
     }
     PathBuf::from("par_speedup.json")
 }

@@ -12,14 +12,17 @@
 
 use simcore::report::{fmt_f64, fmt_pct, Table};
 use smartoclock::policy::PolicyKind;
+use soc_bench::probe::ProfProbe;
 use soc_bench::Cli;
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::{power_groups, PolicyMetrics, RackOutcome};
-use soc_cluster::shard::simulate_policy_sharded;
+use soc_cluster::shard::simulate_policy_sharded_probed;
 use std::collections::HashMap;
+use std::time::Instant;
 
 fn main() {
     let cli = Cli::from_env();
+    let prof = cli.profiler("table1_policies");
     let racks = if cli.fast { 12 } else { 60 };
     let mut config = LargeScaleConfig::bench_reference(racks);
     config.seed = cli.seed;
@@ -31,13 +34,17 @@ fn main() {
     // Run every policy over the same fleet, racks sharded across workers.
     let telemetry = cli.telemetry();
     let threads = cli.effective_threads();
+    let probe = ProfProbe::new(prof.clone());
+    prof.set_meta("racks", racks);
     let mut outcomes: HashMap<PolicyKind, Vec<RackOutcome>> = HashMap::new();
     for policy in PolicyKind::ALL {
         eprintln!("simulating {policy} over {racks} racks ({threads} threads)...");
+        let policy_start = Instant::now();
         outcomes.insert(
             policy,
-            simulate_policy_sharded(&config, policy, &telemetry, threads),
+            simulate_policy_sharded_probed(&config, policy, &telemetry, threads, &probe),
         );
+        prof.record(&format!("policy/{}", policy.name()), policy_start.elapsed());
     }
 
     // Group racks by power (terciles of mean utilization), using the
@@ -109,4 +116,5 @@ fn main() {
         fmt_pct(naive.success_rate),
     );
     cli.finish("table1_policies", &telemetry);
+    cli.finish_prof(&prof);
 }

@@ -16,17 +16,29 @@
 //! * `--threads <n>` — worker threads for the sharded simulation paths
 //!   (`simcore::par`). Defaults to the machine's available parallelism;
 //!   results are byte-identical for every value (`1` forces serial).
+//! * `--prof` — collect a `soc-prof` performance profile (phase wall-clock,
+//!   throughput counters, peak RSS) and print the summary to stderr.
+//! * `--prof-out <path>` — additionally write the profile snapshot as
+//!   canonical JSON (implies `--prof`).
 //!
 //! `--analyze` / `--report-out` without a trace path trace to a temporary
 //! file so the analysis still has input.
+//!
+//! Profiling is observation-only by design: simulation output — stdout
+//! tables, traces, metrics — is byte-identical with and without `--prof`
+//! (profile output goes to stderr and the `--prof-out` file only; pinned by
+//! `tests/prof.rs`).
 //!
 //! This tiny library holds the shared CLI plumbing so the binaries stay
 //! focused on the experiment itself.
 
 #![forbid(unsafe_code)]
 
+pub mod probe;
+
 use simcore::report::Table;
 use simcore::time::SimTime;
+use soc_prof::Profiler;
 use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 
@@ -50,6 +62,11 @@ pub struct Cli {
     /// [`Cli::effective_threads`] to resolve. Thread count never changes
     /// results — only wall-clock time.
     pub threads: usize,
+    /// Collect a `soc-prof` performance profile (`--prof`).
+    pub prof: bool,
+    /// Write the profile snapshot as canonical JSON (`--prof-out`; implies
+    /// `--prof`).
+    pub prof_out: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -62,6 +79,8 @@ impl Default for Cli {
             analyze: false,
             report_out: None,
             threads: 0,
+            prof: false,
+            prof_out: None,
         }
     }
 }
@@ -125,6 +144,11 @@ impl Cli {
                         }
                     }
                 }
+                "--prof" => cli.prof = true,
+                "--prof-out" => {
+                    cli.prof = true;
+                    cli.prof_out = iter.next().map(PathBuf::from);
+                }
                 _ => {}
             }
         }
@@ -154,6 +178,39 @@ impl Cli {
                 }
             },
             None => Telemetry::disabled(),
+        }
+    }
+
+    /// The profiler implied by `--prof` / `--prof-out`: an enabled handle
+    /// named `name` with the common run parameters attached as metadata, or
+    /// the zero-overhead disabled handle. Call [`Cli::finish_prof`] at the
+    /// end of the run to emit the snapshot.
+    pub fn profiler(&self, name: &str) -> Profiler {
+        if !self.prof {
+            return Profiler::disabled();
+        }
+        let prof = Profiler::new(name);
+        prof.set_meta("seed", self.seed);
+        prof.set_meta("threads", self.effective_threads());
+        prof.set_meta("fast", self.fast);
+        prof
+    }
+
+    /// Snapshot the profile, print the human summary to stderr, and honor
+    /// `--prof-out`. No-op for a disabled profiler. Stderr (not stdout) so
+    /// profiled runs keep byte-identical experiment output.
+    pub fn finish_prof(&self, profiler: &Profiler) {
+        if !profiler.is_enabled() {
+            return;
+        }
+        let snap = profiler.snapshot();
+        eprint!("{}", snap.render());
+        if let Some(path) = &self.prof_out {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("profile written to {}", path.display());
+            }
         }
     }
 

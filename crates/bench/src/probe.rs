@@ -1,0 +1,85 @@
+//! The wall-clock side of `soc_cluster::probe::ShardProbe`.
+//!
+//! The sharded simulation engine announces phases through pure hooks (it is
+//! a sim-state crate and may not read clocks, soc-lint D002); this adapter
+//! lives in the bench crate — where wall-clock is allowed — and times those
+//! hooks into a [`Profiler`].
+//!
+//! Span names are recorded with [`Profiler::record`] (literal paths, no
+//! thread-local nesting): workers run inline at `--threads 1` and on pool
+//! threads otherwise, and literal paths keep the snapshot keys identical
+//! across every thread count.
+
+use soc_cluster::probe::{ShardProbe, SpanToken};
+use soc_prof::Profiler;
+use std::time::Instant;
+
+/// A [`ShardProbe`] recording into a [`Profiler`].
+///
+/// With a disabled profiler every hook is a no-op that allocates nothing,
+/// so binaries can pass the probe unconditionally.
+pub struct ProfProbe {
+    profiler: Profiler,
+}
+
+impl ProfProbe {
+    pub fn new(profiler: Profiler) -> ProfProbe {
+        ProfProbe { profiler }
+    }
+}
+
+struct RecordOnDrop {
+    profiler: Profiler,
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanToken for RecordOnDrop {}
+
+impl Drop for RecordOnDrop {
+    fn drop(&mut self) {
+        self.profiler.record(self.name, self.start.elapsed());
+    }
+}
+
+impl ShardProbe for ProfProbe {
+    fn span(&self, name: &'static str) -> Option<Box<dyn SpanToken>> {
+        if !self.profiler.is_enabled() {
+            return None;
+        }
+        Some(Box::new(RecordOnDrop {
+            profiler: self.profiler.clone(),
+            name,
+            start: Instant::now(),
+        }))
+    }
+
+    fn add(&self, counter: &'static str, n: u64) {
+        self.profiler.add(counter, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_yields_no_tokens() {
+        let probe = ProfProbe::new(Profiler::disabled());
+        assert!(probe.span("shard/sim").is_none());
+        probe.add("racks", 3); // must not panic
+    }
+
+    #[test]
+    fn spans_and_counters_land_in_the_snapshot() {
+        let prof = Profiler::new("probe-test");
+        let probe = ProfProbe::new(prof.clone());
+        {
+            let _span = probe.span("shard/sim");
+        }
+        probe.add("racks", 4);
+        let snap = prof.snapshot();
+        assert_eq!(snap.phases["shard/sim"].count, 1);
+        assert_eq!(snap.counters["racks"], 4);
+    }
+}

@@ -15,6 +15,7 @@
 //! end-to-end by the cluster harness instead.
 
 pub use crate::largescale_metrics::{PolicyMetrics, RackOutcome};
+use crate::probe::{NoopProbe, ShardProbe};
 use serde::{Deserialize, Serialize};
 use simcore::faults::{FaultPlan, FaultPlanConfig};
 use simcore::time::{SimDuration, SimTime};
@@ -182,6 +183,25 @@ pub fn simulate_rack_traced(
     model: &PowerModel,
     telemetry: &Telemetry,
 ) -> RackOutcome {
+    simulate_rack_probed(config, policy, rack, model, telemetry, &NoopProbe)
+}
+
+/// [`simulate_rack_traced`] with performance observation hooks.
+///
+/// The probe sees three flat spans — `"rack/setup"` around template
+/// training, and per step `"rack/admission"` (per-server admission checks)
+/// and `"rack/aggregation"` (power aggregation, capping enforcement, and
+/// exploration bookkeeping) — plus a `sim_steps` counter on completion.
+/// Hooks are observation-only: simulation state never reads anything back,
+/// so probed and unprobed runs are byte-identical (see `tests/prof.rs`).
+pub fn simulate_rack_probed(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    rack: &RackTrace,
+    model: &PowerModel,
+    telemetry: &Telemetry,
+    probe: &dyn ShardProbe,
+) -> RackOutcome {
     let plan = model.plan();
     let oc_freq = plan.max_overclock();
     let train_end = SimTime::ZERO + SimDuration::WEEK;
@@ -193,6 +213,7 @@ pub fn simulate_rack_traced(
     let faults = FaultPlan::generate(&config.faults, train_end, trace_end);
 
     // --- Training: build templates from week 1. ---
+    let setup_span = probe.span("rack/setup");
     let weekly_allowance = SimDuration::WEEK.mul_f64(config.oc_time_fraction);
     let mut servers: Vec<ServerState> = rack
         .servers
@@ -226,6 +247,8 @@ pub fn simulate_rack_traced(
             s.template = s.template.clone().map_values(|v| v * bias);
         }
     }
+
+    drop(setup_span);
 
     let mut monitor = RackMonitor::new(rack.limit, 0.95);
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
@@ -342,6 +365,7 @@ pub fn simulate_rack_traced(
         }
 
         // --- Admission per server. ---
+        let admission_span = probe.span("rack/admission");
         let n = servers.len();
         let mut base_total = Watts::ZERO;
         let mut extras = vec![Watts::ZERO; n];
@@ -409,6 +433,8 @@ pub fn simulate_rack_traced(
         }
 
         // --- Rack aggregation and enforcement. ---
+        drop(admission_span);
+        let aggregation_span = probe.span("rack/aggregation");
         let mut draw = base_total + extras.iter().copied().sum::<Watts>();
         let mut perf = vec![0.0f64; n]; // effective speedup of demand servers
         let oc_ratio = oc_freq.ratio(plan.turbo());
@@ -544,9 +570,11 @@ pub fn simulate_rack_traced(
                 outcome.perf_samples += 1;
             }
         }
+        drop(aggregation_span);
         outcome.steps += 1;
         t += config.step;
     }
+    probe.add("sim_steps", outcome.steps);
     outcome.capping_events = monitor.capping_events();
     // Fault accounting rides in its own record so fault-free traces stay
     // byte-for-byte what they were before the faults layer existed.

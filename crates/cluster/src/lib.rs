@@ -22,6 +22,9 @@
 //!   racks dealt across a `simcore::par` worker pool with per-shard RNG
 //!   streams and buffered telemetry, merged in canonical rack order so
 //!   `--threads N` runs are byte-identical to `--threads 1`.
+//! * [`probe`] — pure observation hooks ([`probe::ShardProbe`]) that let
+//!   bench binaries attach wall-clock phase timing to the sharded engine
+//!   without this crate ever reading a clock (soc-lint D002).
 //! * [`ageing`] — the overclocking policies of Fig. 7 (non-overclocked,
 //!   always-overclock, overclock-aware) evaluated over a utilization trace
 //!   with the `soc-reliability` wear model.
@@ -36,9 +39,14 @@ pub mod envs;
 pub mod harness;
 pub mod largescale;
 pub mod largescale_metrics;
+pub mod probe;
 pub mod shard;
 
 pub use envs::{run_environment, Environment, ServiceRunResult};
 pub use harness::{ClusterConfig, ClusterResult, ClusterSim, SystemKind};
 pub use largescale::{simulate_policy, LargeScaleConfig, PolicyMetrics};
-pub use shard::{run_cluster_sims, simulate_policy_sharded};
+pub use probe::{NoopProbe, ShardProbe};
+pub use shard::{
+    run_cluster_sims, run_cluster_sims_probed, simulate_policy_sharded,
+    simulate_policy_sharded_probed,
+};

@@ -23,8 +23,9 @@
 //!    histograms merge bucket-wise.
 
 use crate::harness::{ClusterConfig, ClusterResult, ClusterSim};
-use crate::largescale::{simulate_rack_traced, LargeScaleConfig};
+use crate::largescale::{simulate_rack_probed, LargeScaleConfig};
 use crate::largescale_metrics::RackOutcome;
+use crate::probe::{NoopProbe, ShardProbe};
 use simcore::par;
 use smartoclock::policy::PolicyKind;
 use soc_telemetry::{MetricsSnapshot, Telemetry};
@@ -60,6 +61,27 @@ pub fn simulate_policy_sharded(
     telemetry: &Telemetry,
     threads: usize,
 ) -> Vec<RackOutcome> {
+    simulate_policy_sharded_probed(config, policy, telemetry, threads, &NoopProbe)
+}
+
+/// [`simulate_policy_sharded`] with performance observation hooks.
+///
+/// The probe sees flat spans — `"shard/trace_gen"` and `"shard/sim"` per
+/// rack on the worker side, one `"merge"` span around the canonical-order
+/// absorb — plus `racks` / `merged_events` / `sim_steps` counters. Probing
+/// is strictly one-way: nothing the probe returns reaches simulation state,
+/// so a probed run emits byte-identical traces, metrics, and outcomes to a
+/// [`NoopProbe`] run at every thread count (pinned by `tests/prof.rs`).
+///
+/// # Panics
+/// Panics if `config.weeks < 2` or `config.racks == 0`.
+pub fn simulate_policy_sharded_probed(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    telemetry: &Telemetry,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> Vec<RackOutcome> {
     assert!(
         config.weeks >= 2,
         "need at least one training and one evaluation week"
@@ -72,25 +94,35 @@ pub fn simulate_policy_sharded(
     let run_id = telemetry.next_id();
     let enabled = telemetry.is_enabled();
     let sharded = par::par_map(threads, (0..config.racks).collect(), |_, r| {
+        let gen_span = probe.span("shard/trace_gen");
         let rack = generator.generate_rack(&fleet_cfg, r);
         let model = generator.model_for(rack.generation);
-        if enabled {
+        drop(gen_span);
+        let sim_span = probe.span("shard/sim");
+        let sharded = if enabled {
             let (local, sink) = Telemetry::buffered(shard_id_base(run_id, r));
-            let outcome = simulate_rack_traced(config, policy, &rack, &model, &local);
+            let outcome = simulate_rack_probed(config, policy, &rack, &model, &local, probe);
             (outcome, sink.events(), local.metrics_snapshot())
         } else {
             let disabled = Telemetry::disabled();
-            let outcome = simulate_rack_traced(config, policy, &rack, &model, &disabled);
+            let outcome = simulate_rack_probed(config, policy, &rack, &model, &disabled, probe);
             (outcome, Vec::new(), MetricsSnapshot::default())
-        }
+        };
+        drop(sim_span);
+        sharded
     });
-    sharded
+    probe.add("racks", config.racks as u64);
+    let merge_span = probe.span("merge");
+    let outcomes = sharded
         .into_iter()
         .map(|(outcome, events, metrics)| {
+            probe.add("merged_events", events.len() as u64);
             telemetry.absorb(&events, &metrics);
             outcome
         })
-        .collect()
+        .collect();
+    drop(merge_span);
+    outcomes
 }
 
 /// Run several independent closed-loop cluster simulations across `threads`
@@ -105,10 +137,23 @@ pub fn run_cluster_sims(
     telemetry: &Telemetry,
     threads: usize,
 ) -> Vec<ClusterResult> {
+    run_cluster_sims_probed(configs, telemetry, threads, &NoopProbe)
+}
+
+/// [`run_cluster_sims`] with performance observation hooks (`"shard/sim"`
+/// per simulation, `"merge"` around the absorb, a `cluster_sims` counter).
+pub fn run_cluster_sims_probed(
+    configs: Vec<ClusterConfig>,
+    telemetry: &Telemetry,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> Vec<ClusterResult> {
     let run_id = telemetry.next_id();
     let enabled = telemetry.is_enabled();
+    probe.add("cluster_sims", configs.len() as u64);
     let results = par::par_map(threads, configs, |i, cfg| {
-        if enabled {
+        let sim_span = probe.span("shard/sim");
+        let result = if enabled {
             let (local, sink) = Telemetry::buffered(shard_id_base(run_id, i));
             let result = ClusterSim::with_telemetry(cfg, local.clone()).run();
             (result, sink.events(), local.metrics_snapshot())
@@ -118,15 +163,21 @@ pub fn run_cluster_sims(
                 Vec::new(),
                 MetricsSnapshot::default(),
             )
-        }
+        };
+        drop(sim_span);
+        result
     });
-    results
+    let merge_span = probe.span("merge");
+    let merged = results
         .into_iter()
         .map(|(result, events, metrics)| {
+            probe.add("merged_events", events.len() as u64);
             telemetry.absorb(&events, &metrics);
             result
         })
-        .collect()
+        .collect();
+    drop(merge_span);
+    merged
 }
 
 #[cfg(test)]

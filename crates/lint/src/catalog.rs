@@ -60,9 +60,14 @@ pub const CATALOG: &[LintInfo] = &[
         id: "D002",
         name: "wall-clock-in-sim-state",
         category: Category::Determinism,
-        summary: "std::time::Instant/SystemTime in a sim-state crate; use simcore::time",
+        summary:
+            "std::time::Instant/SystemTime or soc_prof in a sim-state crate; use simcore::time",
         rationale: "Wall-clock reads smuggle host timing into simulation state; all sim \
-                    time must flow through SimTime so a seed fully determines a run.",
+                    time must flow through SimTime so a seed fully determines a run. \
+                    This includes importing the soc_prof profiling crate: wall-clock \
+                    observability lives in crates/prof and the bench binaries only, and \
+                    sim-state crates expose pure probe hooks (soc_cluster::probe) that \
+                    the bench side times.",
         example: "let t0 = std::time::Instant::now();",
     },
     LintInfo {

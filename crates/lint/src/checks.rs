@@ -85,6 +85,13 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 t.line,
                 format!("std::time::{} reads the wall clock; sim time must come from simcore::time::SimTime", t.text),
             ),
+            "soc_prof" if is_crate_use(toks, i) => push(
+                diags,
+                src,
+                "D002",
+                t.line,
+                "soc_prof is wall-clock instrumentation and may not be linked from sim-state crates; expose pure hooks (soc_cluster::probe::ShardProbe) and let bench binaries attach the timers".to_string(),
+            ),
             "env" if path_prefix(toks, i, "std") => push(
                 diags,
                 src,

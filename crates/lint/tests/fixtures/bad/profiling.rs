@@ -1,0 +1,16 @@
+//! Known-bad fixture: a sim-state crate linking the wall-clock profiler.
+//! `soc_prof` lives outside the deterministic core; sim-state crates must
+//! expose pure probe hooks (`soc_cluster::probe::ShardProbe`) instead and
+//! let the bench binaries attach timers. Never compiled.
+
+use soc_prof::Profiler;
+
+struct Shard {
+    profiler: Profiler,
+}
+
+fn time_a_step(shard: &Shard) {
+    let prof = soc_prof::Profiler::new("sim");
+    let _guard = prof.phase("step");
+    let _ = &shard.profiler;
+}

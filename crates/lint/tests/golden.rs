@@ -67,6 +67,31 @@ fn robustness_fixture_matches_golden() {
 }
 
 #[test]
+fn profiling_fixture_matches_golden() {
+    // Scanned as a sim-state crate: linking soc_prof is a D002. The same
+    // source in a bench/prof crate would be clean (checked below).
+    assert_golden(
+        "profiling",
+        "cluster",
+        include_str!("fixtures/bad/profiling.rs"),
+        include_str!("fixtures/bad/profiling.expected"),
+    );
+}
+
+#[test]
+fn profiling_fixture_is_clean_outside_sim_state() {
+    // The carve-out: crates/prof and crates/bench may use wall-clock
+    // timers, so the same source produces no D002 there.
+    for crate_name in ["prof", "bench"] {
+        let got = render(crate_name, include_str!("fixtures/bad/profiling.rs"));
+        assert_eq!(
+            got, "",
+            "soc_prof use must be allowed in crates/{crate_name}"
+        );
+    }
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let got = render("power", include_str!("fixtures/clean/clean.rs"));
     assert_eq!(got, "", "the clean fixture must produce no diagnostics");

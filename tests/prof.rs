@@ -1,0 +1,107 @@
+//! Profiling-is-observation-only harness.
+//!
+//! The perf-observability layer (`soc-prof` + `soc_cluster::probe`) must
+//! never perturb the simulation: attaching a live [`ProfProbe`] to the
+//! sharded engine has to yield byte-identical telemetry traces, metrics,
+//! and outcomes to the default [`NoopProbe`] run, at any thread count.
+//! That invariant is what lets `--prof` default to off-but-harmless and
+//! lets CI gate on `BENCH_largescale.json` without a "profiled build"
+//! variant. Pinned here end to end across the public crate APIs, with
+//! tiny configs so it runs in the tier-1 suite.
+
+use smartoclock::policy::PolicyKind;
+use soc_bench::probe::ProfProbe;
+use soc_cluster::largescale::LargeScaleConfig;
+use soc_cluster::probe::{NoopProbe, ShardProbe};
+use soc_cluster::shard::simulate_policy_sharded_probed;
+use soc_prof::Profiler;
+use soc_telemetry::json::event_to_json;
+use soc_telemetry::Telemetry;
+
+fn small_config(seed: u64) -> LargeScaleConfig {
+    let mut cfg = LargeScaleConfig::small_test();
+    cfg.seed = seed;
+    cfg
+}
+
+/// Run one traced policy simulation under `probe`; return (trace lines,
+/// rendered metrics, outcomes) — everything a consumer can observe.
+fn probed_run(
+    cfg: &LargeScaleConfig,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> (
+    Vec<String>,
+    String,
+    Vec<soc_cluster::largescale_metrics::RackOutcome>,
+) {
+    let (tm, sink) = Telemetry::memory();
+    let outcomes =
+        simulate_policy_sharded_probed(cfg, PolicyKind::SmartOClock, &tm, threads, probe);
+    let lines: Vec<String> = sink.events().iter().map(event_to_json).collect();
+    let metrics = tm.metrics_snapshot().render();
+    (lines, metrics, outcomes)
+}
+
+#[test]
+fn profiled_run_is_byte_identical_to_unprofiled() {
+    let cfg = small_config(11);
+    for threads in [1, 4] {
+        let baseline = probed_run(&cfg, threads, &NoopProbe);
+        let profiler = Profiler::new("prof-test");
+        let probed = probed_run(&cfg, threads, &ProfProbe::new(profiler.clone()));
+        assert_eq!(
+            baseline.0, probed.0,
+            "telemetry trace changed under profiling at {threads} threads"
+        );
+        assert_eq!(
+            baseline.1, probed.1,
+            "metrics snapshot changed under profiling at {threads} threads"
+        );
+        assert_eq!(
+            baseline.2, probed.2,
+            "outcomes changed under profiling at {threads} threads"
+        );
+        // ... and the probe really was live, not silently disabled: the
+        // engine's spans and counters landed in the snapshot.
+        let snap = profiler.snapshot();
+        assert!(
+            snap.phases.contains_key("shard/sim"),
+            "expected a shard/sim phase, got {:?}",
+            snap.phases.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(snap.counters.get("racks").copied(), Some(cfg.racks as u64));
+    }
+}
+
+#[test]
+fn disabled_profiler_probe_records_nothing() {
+    // `--prof` off hands bench binaries a disabled Profiler; the probe must
+    // then return no tokens and the snapshot must stay empty.
+    let cfg = small_config(11);
+    let profiler = Profiler::disabled();
+    let probe = ProfProbe::new(profiler.clone());
+    assert!(probe.span("shard/sim").is_none());
+    let _ = probed_run(&cfg, 2, &probe);
+    let snap = profiler.snapshot();
+    assert!(snap.phases.is_empty(), "disabled profiler recorded phases");
+    assert!(
+        snap.counters.is_empty(),
+        "disabled profiler recorded counters"
+    );
+}
+
+#[test]
+fn profiled_runs_are_reproducible_across_thread_counts() {
+    // The committed baseline is generated at --threads 2; nothing about the
+    // probe may couple snapshot *simulation* content to the thread count.
+    let cfg = small_config(23);
+    let one = probed_run(&cfg, 1, &NoopProbe);
+    for threads in [2, 4] {
+        let profiler = Profiler::new("prof-test");
+        let probed = probed_run(&cfg, threads, &ProfProbe::new(profiler));
+        assert_eq!(one.0, probed.0, "trace differs at {threads} threads");
+        assert_eq!(one.1, probed.1, "metrics differ at {threads} threads");
+        assert_eq!(one.2, probed.2, "outcomes differ at {threads} threads");
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the harness surface the workspace's benches use:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Each bench runs its closure for a small fixed number of
+//! iterations and prints mean wall-clock per iteration — enough to compile
+//! the bench targets and get a rough number offline, with none of the
+//! statistical machinery. When invoked with `--test` (what `cargo test`
+//! passes to `harness = false` targets) it runs a single iteration per
+//! bench so test runs stay fast.
+
+use std::hint;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iterations: u64,
+    /// Total measured nanoseconds across all iterations.
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            hint::black_box(routine());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_nanos = total;
+    }
+}
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness = false benches with `--test`; keep
+        // those invocations to one iteration so the tier-1 suite stays fast.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iterations: if test_mode { 1 } else { 100 },
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iterations: self.iterations,
+            elapsed_nanos: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_nanos / u128::from(b.iterations.max(1));
+        println!(
+            "bench {id}: {per_iter} ns/iter ({} iterations)",
+            b.iterations
+        );
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { iterations: 3 };
+        let mut runs = 0u64;
+        c.bench_function("probe", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut c = Criterion { iterations: 4 };
+        let mut consumed = Vec::new();
+        c.bench_function("batched", |b| {
+            let consumed = &mut consumed;
+            let mut next = 0;
+            b.iter_batched(
+                move || {
+                    next += 1;
+                    next
+                },
+                |v| consumed.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(consumed, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the exact surface the workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(...)] #[test] fn f(x in strategy, ..) { .. } }`
+//! * `prop_assert!` / `prop_assert_eq!` (with optional format messages)
+//! * range strategies (`0.0..1.0f64`, `0u64..200`, ...), tuple strategies,
+//!   and `prop::collection::vec(elem, len_range)`
+//! * `ProptestConfig::with_cases(n)`
+//!
+//! Unlike the real crate it is fully deterministic: inputs come from a
+//! splitmix64 stream seeded by the test's module path and case index, so
+//! every run on every machine explores the same cases. There is no
+//! shrinking — on failure the macro panics with the case index, which is
+//! enough to reproduce (the same index regenerates the same input).
+
+use std::fmt;
+
+/// Per-`proptest!` configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the deterministic suite
+        // fast while still exercising a meaningful spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert!`-family macros inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Seed a generator from a test identifier and case index (FNV-1a over the
+/// name, mixed with the case number).
+pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng {
+        state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A deterministic input generator. Ranges, tuples of strategies, and
+    /// `collection::vec` all implement this.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.next_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let v: f64 = f64::from(self.start) + rng.next_f64() * f64::from(self.end - self.start);
+            v as f32
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    if span == 0 {
+                        return self.start;
+                    }
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((self.start as u128).wrapping_add(offset)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let start = *self.start();
+                    let span = (*self.end() as u128)
+                        .wrapping_sub(start as u128)
+                        .wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every value is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    let offset = (rng.next_u64() as u128) % span;
+                    ((start as u128).wrapping_add(offset)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+    );
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element_strategy, min..max)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+
+    /// Mirror of `proptest::prelude::prop` — the module-style entry point
+    /// (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Like `assert!` but returns a [`TestCaseError`] so the harness can report
+/// the failing case index before panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!` but routed through [`TestCaseError`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block: expands each `fn name(pat in strategy, ..) { body }`
+/// into a plain `#[test]`-able function that runs the body over
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng =
+                    $crate::rng_for(concat!(module_path!(), "::", stringify!($name)), case);
+                $(
+                    let $parm = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!("proptest case {case} of {}: {e}", stringify!($name));
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = crate::rng_for("x", 3);
+        let mut b = crate::rng_for("x", 3);
+        let s = prop::collection::vec(0.0..1.0f64, 1..50);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::rng_for("bounds", 0);
+        for case in 0..10_000 {
+            let _ = case;
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn macro_binds_tuples_and_vecs(
+            (a, b) in (0u32..10, 0.0..1.0f64),
+            mut xs in prop::collection::vec(0u64..100, 1..5),
+        ) {
+            xs.sort_unstable();
+            prop_assert!(a < 10);
+            prop_assert!((0.0..1.0).contains(&b), "b out of range: {}", b);
+            prop_assert_eq!(xs.len(), xs.len());
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and metric
+//! types as forward-looking annotations but never serializes through serde
+//! at runtime (all JSON/CSV output is hand-rolled for byte-stability). This
+//! stand-in provides the trait names and re-exports the no-op derives so
+//! those annotations compile without the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (never invoked at runtime).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (never invoked at runtime).
+pub trait Deserialize<'de> {}

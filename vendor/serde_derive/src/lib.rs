@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` field attributes;
+//! nothing serializes at runtime (there is no `serde_json` anywhere). These
+//! derives therefore expand to nothing — they exist so the annotations parse
+//! and the `#[serde]` helper attribute is registered.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
