@@ -21,7 +21,8 @@ const USAGE: &str = "usage: soc-analyze <command> [args]
 commands:
   summary   <trace.jsonl>                 event counts, span, link health
   chains    <trace.jsonl> [--limit N]     causal chains ending at revoke/slo_miss/
-                                          budget_violation
+                                          budget_violation/degraded_enter/
+                                          degraded_exit
   attribute <trace.jsonl>                 SLO-miss attribution table
   metrics   <trace.jsonl>                 end-of-run metric rollups
   report    <trace.jsonl> [--out FILE]    full report (all of the above)
@@ -119,7 +120,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let all = chains::chains(&trace, &DEFAULT_TERMINALS);
             if all.is_empty() {
                 println!(
-                    "no revoke, slo_miss, or budget_violation events in {}",
+                    "no revoke, slo_miss, budget_violation, or degraded-window events in {}",
                     positional[0]
                 );
             } else {

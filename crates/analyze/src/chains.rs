@@ -13,8 +13,16 @@ use std::fmt::Write as _;
 /// Terminal event names a chain may end at, in severity order: these are the
 /// outcomes an operator wants explained. `budget_violation` is emitted by
 /// the fault-injection layer when a post-enforcement rack draw exceeds the
-/// contracted limit (only fail-open baselines produce it).
-pub const DEFAULT_TERMINALS: [&str; 3] = ["budget_violation", "slo_miss", "revoke"];
+/// contracted limit (only fail-open baselines produce it);
+/// `degraded_enter`/`degraded_exit` bracket the stale-budget windows a gOA
+/// outage forces on a rack.
+pub const DEFAULT_TERMINALS: [&str; 5] = [
+    "budget_violation",
+    "degraded_enter",
+    "degraded_exit",
+    "slo_miss",
+    "revoke",
+];
 
 /// One reconstructed causal chain.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -53,10 +53,14 @@ pub fn full_report(trace: &Trace, title: &str) -> String {
     out.push_str("-- Summary --\n");
     out.push_str(&summary(trace));
 
-    out.push_str("\n-- Causal chains (warning/cap -> revoke / SLO miss / budget violation) --\n");
+    out.push_str(
+        "\n-- Causal chains (warning/cap -> revoke / SLO miss / budget violation / degraded window) --\n",
+    );
     let all = chains::chains(trace, &DEFAULT_TERMINALS);
     if all.is_empty() {
-        out.push_str("no revoke, slo_miss, or budget_violation events in this trace\n");
+        out.push_str(
+            "no revoke, slo_miss, budget_violation, or degraded-window events in this trace\n",
+        );
     } else {
         out.push_str(&chains::render_chains(trace, &all, DEFAULT_CHAIN_LIMIT));
     }
@@ -120,7 +124,7 @@ mod tests {
     #[test]
     fn empty_trace_report_degrades_gracefully() {
         let report = full_report(&Trace::parse("").unwrap(), "empty");
-        assert!(report.contains("no revoke, slo_miss, or budget_violation events"));
+        assert!(report.contains("no revoke, slo_miss, budget_violation, or degraded-window events"));
         assert!(report.contains("no slo_miss events"));
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! `fixtures/small_trace.jsonl` is a hand-written trace with one full causal
 //! chain (warning -> capping -> cap_set -> revoke -> SLO miss), all three
-//! SLO-miss attributions, and every metric kind. The committed report
+//! SLO-miss attributions, a degraded window (`degraded_enter`/`degraded_exit`
+//! caused by the budget split whose copy went stale), and every metric kind.
+//! The committed report
 //! `fixtures/small_trace.report.txt` pins the exact analyzer output; any
 //! intentional format change must regenerate it
 //! (`soc-analyze report fixtures/small_trace.jsonl` with the title

@@ -17,6 +17,10 @@ use std::time::Instant;
 fn main() {
     let cli = Cli::from_env();
     let prof = cli.profiler("exp_datacenter");
+    // Health series (`--health`): this sweep runs outside the sharded rack
+    // engine, so the recorder is fed from the collected results in sweep
+    // order, keyed by feed fraction in basis points.
+    let recorder = cli.recorder("exp_datacenter");
     let mut t = Table::new(&[
         "feed / rack-limit sum",
         "feed overloads (flat)",
@@ -45,6 +49,14 @@ fn main() {
     prof.record("feed_sweep", sweep_start.elapsed());
     prof.add("feeds", outcomes.len() as u64);
     for (feed_fraction, o) in outcomes {
+        let bps = (feed_fraction * 10_000.0) as u64;
+        recorder.sample(bps, "feed_overloads_flat", 0, o.feed_overloads_flat as f64);
+        recorder.sample(
+            bps,
+            "feed_overloads_nested",
+            0,
+            o.feed_overloads_nested as f64,
+        );
         t.row(&[
             fmt_pct(feed_fraction),
             format!("{}/{}", o.feed_overloads_flat, o.steps),
@@ -61,6 +73,10 @@ fn main() {
         "Nested (hierarchical) budgets keep the oversubscribed feed safe at the \
          cost of some grants; flat rack-local enforcement overloads it whenever \
          rack peaks coincide."
+    );
+    cli.finish_health(
+        &recorder,
+        &soc_health::default_rules(SimDuration::from_minutes(15).as_micros()),
     );
     cli.finish_prof(&prof);
 }

@@ -22,10 +22,12 @@
 use simcore::report::{fmt_f64, fmt_pct, Table};
 use simcore::time::SimDuration;
 use smartoclock::policy::PolicyKind;
+use soc_bench::probe::HealthProbe;
 use soc_bench::Cli;
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::PolicyMetrics;
-use soc_cluster::shard::simulate_policy_sharded;
+use soc_cluster::shard::{simulate_policy_sharded, simulate_policy_sharded_probed};
+use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 
 struct Variant {
@@ -70,6 +72,10 @@ fn main() {
     ];
     let telemetry = cli.telemetry();
     let threads = cli.effective_threads();
+    // Health observability (`--health` / `--health-out`): record the
+    // longest-outage SmartOClock cell, where the incident timeline shows
+    // outage -> degraded-entry -> recovery end to end.
+    let recorder = cli.recorder("exp_fault_tolerance");
 
     let mut t = Table::new(&[
         "outage",
@@ -94,7 +100,30 @@ fn main() {
                 "simulating {} at outage={label} over {racks} racks ({threads} threads)...",
                 variant.name
             );
-            let outcomes = simulate_policy_sharded(&config, variant.policy, &telemetry, threads);
+            let health_cell = recorder.is_enabled()
+                && variant.policy == PolicyKind::SmartOClock
+                && *label == "8h";
+            let outcomes = if health_cell {
+                let probe = HealthProbe::new(recorder.clone());
+                if telemetry.is_enabled() {
+                    simulate_policy_sharded_probed(
+                        &config,
+                        variant.policy,
+                        &telemetry,
+                        threads,
+                        &probe,
+                    )
+                } else {
+                    // The alert engine needs the event stream; without
+                    // --trace-out, buffer events into a throwaway memory
+                    // sink. Telemetry is pure observation, so outcomes and
+                    // stdout are unchanged.
+                    let (tm, _sink) = Telemetry::memory();
+                    simulate_policy_sharded_probed(&config, variant.policy, &tm, threads, &probe)
+                }
+            } else {
+                simulate_policy_sharded(&config, variant.policy, &telemetry, threads)
+            };
             let m = PolicyMetrics::aggregate(variant.policy, &outcomes);
             if len.is_zero() {
                 granted_at_zero[v] = m.granted;
@@ -140,6 +169,7 @@ fn main() {
         Ok(()) => eprintln!("wrote {}", out.display()),
         Err(e) => eprintln!("warning: failed to write {}: {e}", out.display()),
     }
+    cli.finish_health(&recorder, &soc_health::default_rules(base.step.as_micros()));
     cli.finish("exp_fault_tolerance", &telemetry);
 }
 

@@ -20,14 +20,20 @@
 //!   throughput counters, peak RSS) and print the summary to stderr.
 //! * `--prof-out <path>` — additionally write the profile snapshot as
 //!   canonical JSON (implies `--prof`).
+//! * `--health` — collect a `soc-health` fleet health report (sim-time
+//!   series, deterministic alerts, incident timeline) and print it to
+//!   stderr.
+//! * `--health-out <path>` — additionally write the health report as
+//!   canonical JSON (implies `--health`); read it back with `soc-health`.
 //!
 //! `--analyze` / `--report-out` without a trace path trace to a temporary
 //! file so the analysis still has input.
 //!
-//! Profiling is observation-only by design: simulation output — stdout
-//! tables, traces, metrics — is byte-identical with and without `--prof`
-//! (profile output goes to stderr and the `--prof-out` file only; pinned by
-//! `tests/prof.rs`).
+//! Profiling and health recording are observation-only by design:
+//! simulation output — stdout tables, traces, metrics — is byte-identical
+//! with and without `--prof` / `--health` (their output goes to stderr and
+//! the `--prof-out` / `--health-out` files only; pinned by `tests/prof.rs`
+//! and `tests/health.rs`).
 //!
 //! This tiny library holds the shared CLI plumbing so the binaries stay
 //! focused on the experiment itself.
@@ -38,6 +44,7 @@ pub mod probe;
 
 use simcore::report::Table;
 use simcore::time::SimTime;
+use soc_health::Recorder;
 use soc_prof::Profiler;
 use soc_telemetry::Telemetry;
 use std::path::PathBuf;
@@ -67,6 +74,11 @@ pub struct Cli {
     /// Write the profile snapshot as canonical JSON (`--prof-out`; implies
     /// `--prof`).
     pub prof_out: Option<PathBuf>,
+    /// Collect a `soc-health` fleet health report (`--health`).
+    pub health: bool,
+    /// Write the health report as canonical JSON (`--health-out`; implies
+    /// `--health`).
+    pub health_out: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -81,6 +93,8 @@ impl Default for Cli {
             threads: 0,
             prof: false,
             prof_out: None,
+            health: false,
+            health_out: None,
         }
     }
 }
@@ -149,6 +163,11 @@ impl Cli {
                     cli.prof = true;
                     cli.prof_out = iter.next().map(PathBuf::from);
                 }
+                "--health" => cli.health = true,
+                "--health-out" => {
+                    cli.health = true;
+                    cli.health_out = iter.next().map(PathBuf::from);
+                }
                 _ => {}
             }
         }
@@ -210,6 +229,36 @@ impl Cli {
                 eprintln!("warning: failed to write {}: {e}", path.display());
             } else {
                 eprintln!("profile written to {}", path.display());
+            }
+        }
+    }
+
+    /// The health recorder implied by `--health` / `--health-out`: an
+    /// enabled recorder named `name`, or the zero-overhead disabled handle.
+    /// Call [`Cli::finish_health`] at the end of the run to evaluate rules
+    /// and emit the report.
+    pub fn recorder(&self, name: &str) -> Recorder {
+        if self.health {
+            Recorder::new(name)
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Evaluate `rules` over the recorded run, print the rendered health
+    /// report to stderr, and honor `--health-out`. No-op for a disabled
+    /// recorder. Stderr (not stdout) so health-recorded runs keep
+    /// byte-identical experiment output.
+    pub fn finish_health(&self, recorder: &Recorder, rules: &[soc_health::Rule]) {
+        let Some(report) = recorder.finalize(rules) else {
+            return;
+        };
+        eprint!("{}", soc_health::render::render_report(&report));
+        if let Some(path) = &self.health_out {
+            if let Err(e) = std::fs::write(path, soc_health::json::to_json(&report)) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("health report written to {}", path.display());
             }
         }
     }
@@ -353,6 +402,28 @@ mod tests {
     fn finish_without_analysis_is_quiet_noop() {
         // Must not panic or print a report when neither flag is set.
         parse(&[]).finish("noop", &Telemetry::disabled());
+    }
+
+    #[test]
+    fn parses_health_flags() {
+        let cli = parse(&["--health"]);
+        assert!(cli.health);
+        assert!(cli.health_out.is_none());
+        let cli = parse(&["--health-out", "/tmp/run.health.json"]);
+        assert!(cli.health, "--health-out must imply --health");
+        assert_eq!(
+            cli.health_out.unwrap().to_str().unwrap(),
+            "/tmp/run.health.json"
+        );
+        assert!(!parse(&[]).health);
+    }
+
+    #[test]
+    fn recorder_disabled_without_health_flag() {
+        assert!(!parse(&[]).recorder("x").is_enabled());
+        assert!(parse(&["--health"]).recorder("x").is_enabled());
+        // finish_health on a disabled recorder is a quiet no-op.
+        parse(&[]).finish_health(&Recorder::disabled(), &soc_health::default_rules(1));
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! across every thread count.
 
 use soc_cluster::probe::{ShardProbe, SpanToken};
+use soc_health::Recorder;
 use soc_prof::Profiler;
+use soc_telemetry::Event;
 use std::time::Instant;
 
 /// A [`ShardProbe`] recording into a [`Profiler`].
@@ -59,6 +61,38 @@ impl ShardProbe for ProfProbe {
     }
 }
 
+/// A [`ShardProbe`] feeding a `soc-health` [`Recorder`]: gauges become
+/// series samples, merged events feed the alert engine. Spans and counters
+/// are ignored — wall-clock belongs to [`ProfProbe`].
+///
+/// With a disabled recorder every hook is a single-branch no-op, so
+/// binaries can pass the probe unconditionally.
+pub struct HealthProbe {
+    recorder: Recorder,
+}
+
+impl HealthProbe {
+    pub fn new(recorder: Recorder) -> HealthProbe {
+        HealthProbe { recorder }
+    }
+}
+
+impl ShardProbe for HealthProbe {
+    fn span(&self, _name: &'static str) -> Option<Box<dyn SpanToken>> {
+        None
+    }
+
+    fn add(&self, _counter: &'static str, _n: u64) {}
+
+    fn gauge(&self, t_us: u64, metric: &'static str, entity: u64, value: f64) {
+        self.recorder.sample(t_us, metric, entity, value);
+    }
+
+    fn event(&self, event: &Event) {
+        self.recorder.observe(event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +115,21 @@ mod tests {
         let snap = prof.snapshot();
         assert_eq!(snap.phases["shard/sim"].count, 1);
         assert_eq!(snap.counters["racks"], 4);
+    }
+
+    #[test]
+    fn health_probe_feeds_the_recorder() {
+        let recorder = Recorder::new("probe-test");
+        let probe = HealthProbe::new(recorder.clone());
+        assert!(probe.span("shard/sim").is_none());
+        probe.add("racks", 4); // ignored
+        probe.gauge(1_000_000, "rack_draw_w", 2, 37.5);
+        assert_eq!(recorder.samples(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_probe_is_inert() {
+        let probe = HealthProbe::new(Recorder::disabled());
+        probe.gauge(1, "rack_draw_w", 0, 1.0);
     }
 }

@@ -262,6 +262,14 @@ pub fn simulate_rack_probed(
     let mut delayed_updates = 0u64;
     let mut telemetry_gaps = 0u64;
     let sim_decision = telemetry.next_id();
+    // The contracted limit as a (constant) health series, so draw can be
+    // reported as a fraction of it.
+    probe.gauge(
+        train_end.as_micros(),
+        "rack_limit_w",
+        rack.index as u64,
+        rack.limit.get(),
+    );
     tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
         "rack" => rack.index,
         "policy" => policy.name(),
@@ -519,6 +527,9 @@ pub fn simulate_rack_probed(
                 "cause_id" => sim_decision);
         }
         outcome.max_draw = outcome.max_draw.max(draw);
+        // Pure observation (works with telemetry disabled): per-step rack
+        // draw for health series. One worker feeds each rack, in time order.
+        probe.gauge(t.as_micros(), "rack_draw_w", rack.index as u64, draw.get());
         telemetry.metrics(|m| {
             m.observe(
                 "sim_rack_draw_w",

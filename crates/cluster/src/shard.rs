@@ -117,6 +117,12 @@ pub fn simulate_policy_sharded_probed(
         .into_iter()
         .map(|(outcome, events, metrics)| {
             probe.add("merged_events", events.len() as u64);
+            // Feed events to the probe here, in canonical rack order on the
+            // merge thread, so event-observing probes (health recorders) see
+            // a deterministic sequence at every thread count.
+            for e in &events {
+                probe.event(e);
+            }
             telemetry.absorb(&events, &metrics);
             outcome
         })
@@ -172,6 +178,11 @@ pub fn run_cluster_sims_probed(
         .into_iter()
         .map(|(result, events, metrics)| {
             probe.add("merged_events", events.len() as u64);
+            // Canonical-order event feed for event-observing probes, as in
+            // `simulate_policy_sharded_probed`.
+            for e in &events {
+                probe.event(e);
+            }
             telemetry.absorb(&events, &metrics);
             result
         })

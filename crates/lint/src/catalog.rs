@@ -61,13 +61,13 @@ pub const CATALOG: &[LintInfo] = &[
         name: "wall-clock-in-sim-state",
         category: Category::Determinism,
         summary:
-            "std::time::Instant/SystemTime or soc_prof in a sim-state crate; use simcore::time",
+            "std::time::Instant/SystemTime, soc_prof, or soc_health in a sim-state crate; use simcore::time",
         rationale: "Wall-clock reads smuggle host timing into simulation state; all sim \
                     time must flow through SimTime so a seed fully determines a run. \
-                    This includes importing the soc_prof profiling crate: wall-clock \
-                    observability lives in crates/prof and the bench binaries only, and \
-                    sim-state crates expose pure probe hooks (soc_cluster::probe) that \
-                    the bench side times.",
+                    This includes importing the soc_prof profiling and soc_health \
+                    recording crates: observability lives in crates/prof, crates/health \
+                    and the bench binaries only, and sim-state crates expose pure probe \
+                    hooks (soc_cluster::probe) that the bench side times and records.",
         example: "let t0 = std::time::Instant::now();",
     },
     LintInfo {

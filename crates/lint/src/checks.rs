@@ -85,12 +85,12 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 t.line,
                 format!("std::time::{} reads the wall clock; sim time must come from simcore::time::SimTime", t.text),
             ),
-            "soc_prof" if is_crate_use(toks, i) => push(
+            "soc_prof" | "soc_health" if is_crate_use(toks, i) => push(
                 diags,
                 src,
                 "D002",
                 t.line,
-                "soc_prof is wall-clock instrumentation and may not be linked from sim-state crates; expose pure hooks (soc_cluster::probe::ShardProbe) and let bench binaries attach the timers".to_string(),
+                format!("{} is bench-side observability and may not be linked from sim-state crates; expose pure hooks (soc_cluster::probe::ShardProbe) and let bench binaries attach the timers/recorders", t.text),
             ),
             "env" if path_prefix(toks, i, "std") => push(
                 diags,
@@ -549,6 +549,22 @@ mod tests {
             sim("let t = std::time::SystemTime::now();"),
             [("D002".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn d002_observability_crates() {
+        // Bench-side observability crates may not be linked from sim state.
+        assert_eq!(sim("use soc_prof::Profiler;"), [("D002".to_string(), 1)]);
+        assert_eq!(sim("use soc_health::Recorder;"), [("D002".to_string(), 1)]);
+        // A local identifier that merely shares the name is not a crate use.
+        assert!(sim("let soc_health = 1;").is_empty());
+        // Outside sim state they are fine.
+        assert!(lint_src(
+            "bench",
+            "crates/bench/src/x.rs",
+            "use soc_health::Recorder;"
+        )
+        .is_empty());
     }
 
     #[test]

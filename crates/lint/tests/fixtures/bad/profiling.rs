@@ -1,16 +1,20 @@
-//! Known-bad fixture: a sim-state crate linking the wall-clock profiler.
-//! `soc_prof` lives outside the deterministic core; sim-state crates must
-//! expose pure probe hooks (`soc_cluster::probe::ShardProbe`) instead and
-//! let the bench binaries attach timers. Never compiled.
+//! Known-bad fixture: a sim-state crate linking bench-side observability.
+//! `soc_prof` (wall-clock profiling) and `soc_health` (health recording)
+//! live outside the deterministic core; sim-state crates must expose pure
+//! probe hooks (`soc_cluster::probe::ShardProbe`) instead and let the bench
+//! binaries attach timers and recorders. Never compiled.
 
+use soc_health::Recorder;
 use soc_prof::Profiler;
 
 struct Shard {
     profiler: Profiler,
+    recorder: Recorder,
 }
 
 fn time_a_step(shard: &Shard) {
     let prof = soc_prof::Profiler::new("sim");
+    let health = soc_health::Recorder::new("sim");
     let _guard = prof.phase("step");
-    let _ = &shard.profiler;
+    let _ = (&shard.profiler, &shard.recorder, health);
 }

@@ -80,13 +80,14 @@ fn profiling_fixture_matches_golden() {
 
 #[test]
 fn profiling_fixture_is_clean_outside_sim_state() {
-    // The carve-out: crates/prof and crates/bench may use wall-clock
-    // timers, so the same source produces no D002 there.
-    for crate_name in ["prof", "bench"] {
+    // The carve-out: crates/prof, crates/health, and crates/bench may use
+    // wall-clock timers and recorders, so the same source produces no D002
+    // there.
+    for crate_name in ["prof", "health", "bench"] {
         let got = render(crate_name, include_str!("fixtures/bad/profiling.rs"));
         assert_eq!(
             got, "",
-            "soc_prof use must be allowed in crates/{crate_name}"
+            "soc_prof/soc_health use must be allowed in crates/{crate_name}"
         );
     }
 }
