@@ -42,56 +42,14 @@ pub struct Allowlist {
 }
 
 impl Allowlist {
-    /// Parse `lint.toml` text. Unknown keys, missing required keys, and
-    /// anything outside the subset are hard errors: a waiver file that
-    /// cannot be read exactly is a waiver file that silently waives wrong.
+    /// Parse `lint.toml` text and keep only the `[[allow]]` entries. The
+    /// full parser (layers, ratchet) lives in [`crate::config`]; this is the
+    /// convenience entry point for code and tests that only care about
+    /// waivers. Unknown keys, missing required keys, and anything outside
+    /// the subset are hard errors: a waiver file that cannot be read exactly
+    /// is a waiver file that silently waives wrong.
     pub fn parse(text: &str) -> Result<Allowlist, String> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<PartialEntry> = None;
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if line == "[[allow]]" {
-                if let Some(partial) = current.take() {
-                    entries.push(partial.finish()?);
-                }
-                current = Some(PartialEntry::default());
-                continue;
-            }
-            let Some((key, value)) = line.split_once('=') else {
-                return Err(format!(
-                    "lint.toml:{lineno}: expected `key = value` or [[allow]]"
-                ));
-            };
-            let Some(entry) = current.as_mut() else {
-                return Err(format!(
-                    "lint.toml:{lineno}: key outside an [[allow]] table"
-                ));
-            };
-            let key = key.trim();
-            let value = value.trim();
-            match key {
-                "lint" => entry.lint = Some(parse_string(value, lineno)?),
-                "path" => entry.path = Some(parse_string(value, lineno)?),
-                "justification" => entry.justification = Some(parse_string(value, lineno)?),
-                "line" => {
-                    let n: u32 = value
-                        .parse()
-                        .map_err(|_| format!("lint.toml:{lineno}: line must be an integer"))?;
-                    entry.line = Some(n);
-                }
-                other => {
-                    return Err(format!("lint.toml:{lineno}: unknown key `{other}`"));
-                }
-            }
-        }
-        if let Some(partial) = current.take() {
-            entries.push(partial.finish()?);
-        }
-        Ok(Allowlist { entries })
+        Ok(crate::config::LintConfig::parse(text)?.allowlist)
     }
 
     /// Split diagnostics into (blocking, waived); also returns the indices of
@@ -121,51 +79,6 @@ impl Allowlist {
             .collect();
         (blocking, waived, stale)
     }
-}
-
-#[derive(Default)]
-struct PartialEntry {
-    lint: Option<String>,
-    path: Option<String>,
-    line: Option<u32>,
-    justification: Option<String>,
-}
-
-impl PartialEntry {
-    fn finish(self) -> Result<AllowEntry, String> {
-        let lint = self
-            .lint
-            .ok_or("lint.toml: [[allow]] entry missing `lint`")?;
-        let path = self
-            .path
-            .ok_or("lint.toml: [[allow]] entry missing `path`")?;
-        let justification = self.justification.ok_or_else(|| {
-            format!("lint.toml: waiver for {lint} at {path} has no justification")
-        })?;
-        if justification.trim().is_empty() {
-            return Err(format!(
-                "lint.toml: waiver for {lint} at {path} has an empty justification"
-            ));
-        }
-        Ok(AllowEntry {
-            lint,
-            path,
-            line: self.line,
-            justification,
-        })
-    }
-}
-
-/// Parse a double-quoted TOML string (no escape support needed for paths,
-/// lint ids, and prose; a backslash is taken literally).
-fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
-    let inner = value
-        .strip_prefix('"')
-        .and_then(|v| v.strip_suffix('"'))
-        .ok_or(format!(
-            "lint.toml:{lineno}: expected a double-quoted string"
-        ))?;
-    Ok(inner.to_string())
 }
 
 #[cfg(test)]

@@ -1,28 +1,42 @@
-//! `soc-lint` — command-line determinism/unit-safety checks.
+//! `soc-lint` — command-line determinism/unit-safety/architecture checks.
 //!
 //! ```text
-//! soc-lint check [--root DIR] [--allowlist FILE] [--out FILE]
-//! soc-lint json  [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint check   [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint json    [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint sarif   [--root DIR] [--allowlist FILE] [--out FILE]
+//! soc-lint graph   [--root DIR] [--allowlist FILE] [--format dot|json] [--out FILE]
+//! soc-lint ratchet [--root DIR] [--allowlist FILE]
 //! soc-lint list
 //! ```
 //!
 //! `check` prints human diagnostics and exits non-zero when any violation is
-//! not waived by `lint.toml`; `json` is the same check with the machine
-//! report (the CI artifact) on stdout or `--out`; `list` prints the catalog.
+//! not waived by `lint.toml` — or when a waiver is stale; `json`/`sarif` are
+//! the same check with the machine report (the CI artifacts) on stdout or
+//! `--out`; `graph` dumps the workspace crate dependency graph; `ratchet`
+//! fails when the `[[allow]]` list has grown past the committed baseline;
+//! `list` prints the catalog.
 
 use soc_lint::report::render_catalog;
-use soc_lint::workspace::run_check;
+use soc_lint::sarif::render_sarif;
+use soc_lint::workspace::{analyze_workspace, load_config, run_check};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: soc-lint <command> [args]
 
 commands:
-  check [--root DIR] [--allowlist FILE] [--out FILE]
-        lint the workspace; exit 1 on non-allowlisted violations
-  json  [--root DIR] [--allowlist FILE] [--out FILE]
-        same check, JSON report (always written, even on failure)
-  list  print the lint catalog with rationales and waiver instructions
+  check   [--root DIR] [--allowlist FILE] [--out FILE]
+          lint the workspace; exit 1 on non-allowlisted violations or stale waivers
+  json    [--root DIR] [--allowlist FILE] [--out FILE]
+          same check, JSON report (always written, even on failure)
+  sarif   [--root DIR] [--allowlist FILE] [--out FILE]
+          same check, SARIF 2.1.0 log (waived violations appear suppressed)
+  graph   [--root DIR] [--allowlist FILE] [--format dot|json] [--out FILE]
+          dump the workspace crate dependency graph with layer annotations
+  ratchet [--root DIR] [--allowlist FILE]
+          fail if [[allow]] entries exceed the [ratchet] allowlist-baseline,
+          any entry is stale, or any violation is blocking
+  list    print the lint catalog with rationales and waiver instructions
 
 --root defaults to the nearest ancestor containing crates/ (or .);
 --allowlist defaults to <root>/lint.toml.";
@@ -103,6 +117,13 @@ fn deliver(text: &str, out: Option<&str>) -> Result<(), String> {
     }
 }
 
+/// Resolve `--root` and `--allowlist` to concrete paths.
+fn paths(flags: &Flags<'_>) -> (PathBuf, PathBuf) {
+    let root = flag(flags, "root").map_or_else(default_root, PathBuf::from);
+    let allowlist = flag(flags, "allowlist").map_or_else(|| root.join("lint.toml"), PathBuf::from);
+    (root, allowlist)
+}
+
 /// Returns Ok(true) when the workspace is clean (exit 0).
 fn run(args: &[String]) -> Result<bool, String> {
     let Some(command) = args.first().map(String::as_str) else {
@@ -115,18 +136,78 @@ fn run(args: &[String]) -> Result<bool, String> {
         ));
     }
     match command {
-        "check" | "json" => {
-            let root = flag(&flags, "root").map_or_else(default_root, PathBuf::from);
-            let allowlist =
-                flag(&flags, "allowlist").map_or_else(|| root.join("lint.toml"), PathBuf::from);
-            let report = run_check(&root, Path::new(&allowlist))?;
-            let rendered = if command == "json" {
-                report.render_json()
-            } else {
-                report.render_human()
+        "check" | "json" | "sarif" => {
+            let (root, allowlist) = paths(&flags);
+            let report = run_check(&root, &allowlist)?;
+            let rendered = match command {
+                "json" => report.render_json(),
+                "sarif" => {
+                    let config = load_config(Path::new(&allowlist))?;
+                    render_sarif(&report, &config.allowlist)
+                }
+                _ => report.render_human(),
             };
             deliver(&rendered, flag(&flags, "out"))?;
-            Ok(report.blocking.is_empty())
+            // Stale waivers fail too: an entry matching nothing is either
+            // dead weight or a typo silently waiving the wrong thing.
+            Ok(report.blocking.is_empty() && report.stale.is_empty())
+        }
+        "graph" => {
+            let (root, allowlist) = paths(&flags);
+            let config = load_config(&allowlist)?;
+            let analysis = analyze_workspace(&root, &config)?;
+            let rendered = match flag(&flags, "format").unwrap_or("dot") {
+                "dot" => analysis.crate_graph.render_dot(&config.layers),
+                "json" => analysis.crate_graph.render_json(&config.layers),
+                other => return Err(format!("unknown graph format '{other}' (dot|json)")),
+            };
+            deliver(&rendered, flag(&flags, "out"))?;
+            Ok(true)
+        }
+        "ratchet" => {
+            let (root, allowlist) = paths(&flags);
+            let config = load_config(&allowlist)?;
+            let Some(baseline) = config.ratchet_baseline else {
+                return Err(
+                    "lint.toml has no [ratchet] allowlist-baseline; add one to enable the ratchet"
+                        .to_string(),
+                );
+            };
+            let entries = config.allowlist.entries.len();
+            let report = run_check(&root, &allowlist)?;
+            let mut ok = true;
+            if entries > baseline {
+                println!(
+                    "ratchet: FAIL — {entries} [[allow]] entries exceed the committed baseline of {baseline}; \
+                     fix the new violation instead of waiving it (or justify raising the baseline)"
+                );
+                ok = false;
+            } else if entries < baseline {
+                println!(
+                    "ratchet: {entries} [[allow]] entries, baseline {baseline} — tighten the \
+                     baseline in lint.toml to lock in the progress"
+                );
+            }
+            if !report.stale.is_empty() {
+                println!(
+                    "ratchet: FAIL — {} stale waiver(s) match nothing; delete them",
+                    report.stale.len()
+                );
+                ok = false;
+            }
+            if !report.blocking.is_empty() {
+                println!(
+                    "ratchet: FAIL — {} blocking violation(s); run `soc-lint check` for details",
+                    report.blocking.len()
+                );
+                ok = false;
+            }
+            if ok {
+                println!(
+                    "ratchet: OK — {entries} waiver(s) within baseline {baseline}, none stale, no blocking violations"
+                );
+            }
+            Ok(ok)
         }
         "list" => {
             print!("{}", render_catalog());

@@ -6,6 +6,10 @@ use std::fmt;
 /// Lint category.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Category {
+    /// A-lints: architecture layering. The `[layers]` section of lint.toml
+    /// assigns every crate to a tier and declares which tiers each may use;
+    /// A-lints enforce those edges directly (A001) and transitively (A002).
+    Architecture,
     /// D-lints: bit-determinism per seed. Violations make causal-trace
     /// diffs (PR 2) meaningless because runs stop being byte-identical.
     Determinism,
@@ -20,6 +24,7 @@ pub enum Category {
 impl fmt::Display for Category {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
+            Category::Architecture => "architecture",
             Category::Determinism => "determinism",
             Category::Units => "units",
             Category::Robustness => "robustness",
@@ -47,6 +52,34 @@ pub struct LintInfo {
 /// (enforced by a test).
 pub const CATALOG: &[LintInfo] = &[
     LintInfo {
+        id: "A001",
+        name: "layer-violation",
+        category: Category::Architecture,
+        summary: "reference to a workspace crate in a layer this crate's layer may not use",
+        rationale: "The workspace is tiered — sim-state, emit, observation, tooling — and \
+                    the tiers are declared once in the `[layers]` section of lint.toml \
+                    rather than hard-coded per lint. Sim-state linking observability \
+                    (soc_prof, soc_health) would let bench-side timers and recorders \
+                    leak host behaviour into seed-determined simulation state; the \
+                    sanctioned pattern is pure probe hooks (soc_cluster::probe) that \
+                    the bench side attaches to. Moving a crate between tiers is a \
+                    one-line config change, not a lint release.",
+        example: "use soc_health::Recorder; // in crates/power",
+    },
+    LintInfo {
+        id: "A002",
+        name: "transitive-layer-violation",
+        category: Category::Architecture,
+        summary: "a forbidden layer is reachable through an allowed intermediary crate",
+        rationale: "A001 only sees direct references, so an intermediary crate in an \
+                    allowed layer could re-export a forbidden one and launder the \
+                    dependency. A002 walks the workspace crate graph: if any path from \
+                    a crate reaches a layer its own layer may not use, the first hop of \
+                    that path is flagged with the full chain, so the fix site is always \
+                    a real reference in the offending crate.",
+        example: "use helper::recorder; // helper itself uses soc_health",
+    },
+    LintInfo {
         id: "D001",
         name: "hash-collections-in-sim-state",
         category: Category::Determinism,
@@ -60,14 +93,11 @@ pub const CATALOG: &[LintInfo] = &[
         id: "D002",
         name: "wall-clock-in-sim-state",
         category: Category::Determinism,
-        summary:
-            "std::time::Instant/SystemTime, soc_prof, or soc_health in a sim-state crate; use simcore::time",
+        summary: "std::time::Instant/SystemTime in a sim-state crate; use simcore::time",
         rationale: "Wall-clock reads smuggle host timing into simulation state; all sim \
                     time must flow through SimTime so a seed fully determines a run. \
-                    This includes importing the soc_prof profiling and soc_health \
-                    recording crates: observability lives in crates/prof, crates/health \
-                    and the bench binaries only, and sim-state crates expose pure probe \
-                    hooks (soc_cluster::probe) that the bench side times and records.",
+                    (Linking the observability crates from sim-state is A001's job; \
+                    wall-clock reads laundered through helper crates are D006's.)",
         example: "let t0 = std::time::Instant::now();",
     },
     LintInfo {
@@ -103,6 +133,20 @@ pub const CATALOG: &[LintInfo] = &[
         example: "std::thread::spawn(move || sim.step());",
     },
     LintInfo {
+        id: "D006",
+        name: "laundered-nondeterminism",
+        category: Category::Determinism,
+        summary: "a sim-state call site reaches a wall-clock/env/rng source through a helper crate",
+        rationale: "D002–D004 flag non-deterministic sources written directly in \
+                    sim-state crates, but a helper crate in an allowed layer can wrap \
+                    `SystemTime::now()` in `now_ms()` and every file still lints clean. \
+                    D006 propagates taint from the sources backward along the workspace \
+                    call graph and flags the sim-state call site, naming the full chain \
+                    down to the source so the plumbing fix (pass SimTime/Pcg32 in) is \
+                    obvious.",
+        example: "let t = soc_telemetry::clock::now_ms(); // wraps SystemTime",
+    },
+    LintInfo {
         id: "U001",
         name: "raw-float-power-parameter",
         category: Category::Units,
@@ -130,6 +174,18 @@ pub const CATALOG: &[LintInfo] = &[
         rationale: "Struct fields outlive their constructor's discipline: a raw f64 \
                     `power` field re-opens unit confusion at every read site.",
         example: "struct Server { budget_w: f64 }",
+    },
+    LintInfo {
+        id: "U004",
+        name: "raw-unit-return",
+        category: Category::Units,
+        summary: "unit-named pub fn returns a bare raw number; return the units newtype",
+        rationale: "U001–U003 keep raw watts and megahertz out of parameters and \
+                    fields, but a `pub fn draw_w() -> f64` leaks the quantity back out \
+                    of the API unlabeled, and every caller re-decides what scale it is. \
+                    Returning Watts/MegaHertz closes the unit-flow loop: quantities \
+                    enter and leave crate boundaries typed.",
+        example: "pub fn draw_w(&self) -> f64",
     },
     LintInfo {
         id: "R001",
@@ -161,6 +217,20 @@ pub const CATALOG: &[LintInfo] = &[
                     saturates; conversions on physical values must be explicit about \
                     rounding so two code paths cannot round differently.",
         example: "let whole = watts as u64;",
+    },
+    LintInfo {
+        id: "R004",
+        name: "panic-reachable-from-sim-api",
+        category: Category::Robustness,
+        summary: "a sim-state pub fn's call chain reaches an unwrap/panic/indexing site",
+        rationale: "R001/R002 flag panic sites where they are written, but a sim-state \
+                    `pub fn` can reach one three helpers deep and abort a multi-hour \
+                    sweep from inside a dependency. R004 walks the workspace call graph \
+                    from every panic site (unwrap/expect, panic!-family, slice \
+                    indexing) back to the sim-state public API. Two barriers encode \
+                    accepted contracts: a `# Panics` doc section anywhere on the chain, \
+                    and a lint.toml waiver covering the site itself.",
+        example: "pub fn admit(&mut self) { self.pick_server() } // pick_server unwraps",
     },
 ];
 

@@ -1,21 +1,17 @@
-//! Lint implementations. Each check is a token-pattern query over a
-//! [`SourceFile`]; together they emit only ids present in the catalog.
+//! Per-file lint implementations. Each check is a token- or item-pattern
+//! query over a [`SourceFile`] and its parsed [`FileModel`]; together they
+//! emit only ids present in the catalog.
+//!
+//! Which crates count as simulation state is no longer a hard-coded list:
+//! it comes from the `[layers]` section of `lint.toml` (or the built-in
+//! default in [`crate::config::Layers::builtin_default`]). The same layer
+//! model drives A001 here and A002/D006/R004 in the workspace passes.
 
+use crate::config::Layers;
+use crate::graph::ident_names_crate;
 use crate::lexer::{Token, TokenKind};
+use crate::parser::{fn_params, struct_fields, FileModel};
 use crate::source::SourceFile;
-
-/// Crates whose contents are simulation state: a seed must fully determine
-/// every byte they compute. D- and U-lints apply only here; R-lints apply to
-/// all library code.
-pub const SIM_STATE_CRATES: &[&str] = &[
-    "simcore",
-    "core",
-    "power",
-    "cluster",
-    "workloads",
-    "reliability",
-    "traces",
-];
 
 /// One lint violation at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,15 +26,17 @@ pub struct Diagnostic {
     pub message: String,
 }
 
-/// Run every applicable lint over one file. Diagnostics are deduplicated per
-/// `(lint, line)` and sorted by `(line, lint)`.
-pub fn check_file(src: &SourceFile) -> Vec<Diagnostic> {
+/// Run every applicable per-file lint over one file. Diagnostics are
+/// deduplicated per `(lint, line)` and sorted by `(line, lint)`.
+pub fn check_file(src: &SourceFile, model: &FileModel, layers: &Layers) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    let sim_state = SIM_STATE_CRATES.contains(&src.crate_name.as_str());
+    let sim_state = layers.sim_state_crates().contains(src.crate_name.as_str());
     if sim_state {
         determinism_lints(src, &mut diags);
         unit_lints(src, &mut diags);
+        unit_flow_lints(src, model, &mut diags);
     }
+    architecture_lints(src, model, layers, &mut diags);
     if !src.is_bin {
         robustness_lints(src, &mut diags);
     }
@@ -56,15 +54,60 @@ fn push(diags: &mut Vec<Diagnostic>, src: &SourceFile, lint: &'static str, line:
     });
 }
 
+// ---------------------------------------------------------------- A-lints --
+
+/// A001: a reference to a workspace crate whose layer this crate's layer may
+/// not use. Purely declarative — the tiers and their allowed edges live in
+/// `lint.toml`, so moving a crate between layers is a config change, not a
+/// lint release. Transitive violations (an allowed intermediary that itself
+/// reaches a forbidden layer) are A002's job in the workspace pass.
+fn architecture_lints(
+    src: &SourceFile,
+    model: &FileModel,
+    layers: &Layers,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(my_layer) = layers.layer_of(&src.crate_name) else {
+        return; // unassigned crates carry no layering obligations
+    };
+    for root in &model.path_roots {
+        let Some(target) = layers
+            .all_crates()
+            .into_iter()
+            .find(|c| ident_names_crate(&root.name, c))
+        else {
+            continue;
+        };
+        if target == src.crate_name {
+            continue;
+        }
+        let Some(target_layer) = layers.layer_of(target) else {
+            continue;
+        };
+        if !layers.allows(my_layer, target_layer) {
+            push(
+                diags,
+                src,
+                "A001",
+                root.line,
+                format!(
+                    "crate `{}` (layer `{my_layer}`) references `{}` (layer `{target_layer}`), \
+                     which `[layers.{my_layer}]` in lint.toml does not allow",
+                    src.crate_name, root.name
+                ),
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------- D-lints --
 
 /// D001–D005 apply to the whole file, test code included: a flaky test from
 /// hash-order or wall-clock dependence costs the same debugging time as a
-/// flaky simulation.
+/// flaky simulation. There are no hard-coded path carve-outs: the sanctioned
+/// threading home (`simcore::par`) holds a justified file-wide D005 waiver in
+/// `lint.toml` like any other exception.
 fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
-    // The one sanctioned threading primitive: simcore::par itself must use
-    // std::thread to exist, and every other sim-state crate goes through it.
-    let is_par_abstraction = src.path == "crates/simcore/src/par.rs";
     let toks = &src.tokens;
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokenKind::Ident {
@@ -84,13 +127,6 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 "D002",
                 t.line,
                 format!("std::time::{} reads the wall clock; sim time must come from simcore::time::SimTime", t.text),
-            ),
-            "soc_prof" | "soc_health" if is_crate_use(toks, i) => push(
-                diags,
-                src,
-                "D002",
-                t.line,
-                format!("{} is bench-side observability and may not be linked from sim-state crates; expose pure hooks (soc_cluster::probe::ShardProbe) and let bench binaries attach the timers/recorders", t.text),
             ),
             "env" if path_prefix(toks, i, "std") => push(
                 diags,
@@ -113,21 +149,21 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 t.line,
                 "the `rand` crate is non-deterministic across versions and platforms; use simcore::rng::Pcg32".to_string(),
             ),
-            "thread" if !is_par_abstraction && path_prefix(toks, i, "std") => push(
+            "thread" if path_prefix(toks, i, "std") => push(
                 diags,
                 src,
                 "D005",
                 t.line,
                 "std::thread in sim-state crate; scheduler interleaving varies per run — shard through simcore::par::par_map".to_string(),
             ),
-            "mpsc" if !is_par_abstraction => push(
+            "mpsc" => push(
                 diags,
                 src,
                 "D005",
                 t.line,
                 "channel use in sim-state crate; message arrival order is scheduler-dependent — shard through simcore::par::par_map".to_string(),
             ),
-            "crossbeam" if !is_par_abstraction && is_crate_use(toks, i) => push(
+            "crossbeam" if is_crate_use(toks, i) => push(
                 diags,
                 src,
                 "D005",
@@ -140,13 +176,13 @@ fn determinism_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
 }
 
 /// Is token `i` the segment right after `prefix ::`?
-fn path_prefix(toks: &[Token], i: usize, prefix: &str) -> bool {
+pub(crate) fn path_prefix(toks: &[Token], i: usize, prefix: &str) -> bool {
     i >= 2 && toks[i - 1].is_punct("::") && toks[i - 2].is_ident(prefix)
 }
 
 /// Is the identifier at `i` used as an external crate path root
 /// (`rand::…` or `use rand…`)?
-fn is_crate_use(toks: &[Token], i: usize) -> bool {
+pub(crate) fn is_crate_use(toks: &[Token], i: usize) -> bool {
     let followed_by_path = toks.get(i + 1).is_some_and(|t| t.is_punct("::"));
     let after_use = i >= 1 && toks[i - 1].is_ident("use");
     // `foo::rand::…` is a module named rand, not the crate.
@@ -215,7 +251,7 @@ fn unit_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 continue;
             }
         } else if toks[i].is_ident("struct") {
-            if let Some((fields, end)) = struct_fields(toks, i) {
+            if let Some((fields, _, _, end)) = struct_fields(toks, i) {
                 for (name, line, ty) in fields {
                     check_quantity(src, diags, "field", &name, line, &ty, false);
                 }
@@ -270,154 +306,31 @@ fn check_quantity(
     }
 }
 
-/// One `name: type` binding — a fn parameter or struct field — as
-/// `(name, line, type tokens)`.
-type Binding = (String, u32, Vec<Token>);
-
-/// Parse the parameter list of the `fn` at `fn_idx`. Returns
-/// `(params, index past the closing paren)`; each param is
-/// `(name, line, type tokens)`. Self receivers and non-identifier patterns
-/// are skipped.
-fn fn_params(toks: &[Token], fn_idx: usize) -> Option<(Vec<Binding>, usize)> {
-    let mut i = fn_idx + 1;
-    // fn name, possibly with generics before the paren.
-    if !toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
-        return None;
-    }
-    i += 1;
-    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
-        i = skip_angles(toks, i)?;
-    }
-    if !toks.get(i).is_some_and(|t| t.is_punct("(")) {
-        return None;
-    }
-    let close = matching_paren(toks, i)?;
-    let mut params = Vec::new();
-    for group in split_commas(&toks[i + 1..close]) {
-        let mut g = group;
-        while g.first().is_some_and(|t| t.is_ident("mut")) {
-            g = &g[1..];
-        }
-        // Skip receivers and non-trivial patterns: we need `ident : type`.
-        let [name, colon, ty @ ..] = g else { continue };
-        if name.kind != TokenKind::Ident || !colon.is_punct(":") || name.text == "self" {
+/// U004: a unit-suffixed `pub fn` (`*_w`, `*watt*`, `*mhz*`) returning a
+/// bare raw number leaks an unlabeled physical quantity out of the crate's
+/// API — the return-side twin of U001/U002, which cover the parameters.
+fn unit_flow_lints(src: &SourceFile, model: &FileModel, diags: &mut Vec<Diagnostic>) {
+    for f in &model.fns {
+        if !f.is_pub {
             continue;
         }
-        params.push((name.text.clone(), name.line, ty.to_vec()));
-    }
-    Some((params, close + 1))
-}
-
-/// Parse the fields of the braced `struct` at `struct_idx`. Tuple and unit
-/// structs yield no fields. Returns `(fields, index past the closing brace)`.
-fn struct_fields(toks: &[Token], struct_idx: usize) -> Option<(Vec<Binding>, usize)> {
-    let mut i = struct_idx + 1;
-    if !toks.get(i).is_some_and(|t| t.kind == TokenKind::Ident) {
-        return None;
-    }
-    i += 1;
-    if toks.get(i).is_some_and(|t| t.is_punct("<")) {
-        i = skip_angles(toks, i)?;
-    }
-    if !toks.get(i).is_some_and(|t| t.is_punct("{")) {
-        return None; // tuple struct, unit struct, or `struct X where …`
-    }
-    let close = matching_brace(toks, i)?;
-    let mut fields = Vec::new();
-    for group in split_commas(&toks[i + 1..close]) {
-        let mut g = group;
-        // Strip field attributes and visibility.
-        loop {
-            if g.first().is_some_and(|t| t.is_punct("#"))
-                && g.get(1).is_some_and(|t| t.is_punct("["))
-            {
-                let Some(end) = g.iter().position(|t| t.is_punct("]")) else {
-                    break;
-                };
-                g = &g[end + 1..];
-            } else if g.first().is_some_and(|t| t.is_ident("pub")) {
-                g = &g[1..];
-                if g.first().is_some_and(|t| t.is_punct("(")) {
-                    let Some(end) = g.iter().position(|t| t.is_punct(")")) else {
-                        break;
-                    };
-                    g = &g[end + 1..];
-                }
-            } else {
-                break;
-            }
-        }
-        let [name, colon, ty @ ..] = g else { continue };
-        if name.kind != TokenKind::Ident || !colon.is_punct(":") {
-            continue;
-        }
-        fields.push((name.text.clone(), name.line, ty.to_vec()));
-    }
-    Some((fields, close + 1))
-}
-
-/// Split a token slice at top-level commas (tracking `()`, `[]`, `{}`, `<>`).
-fn split_commas(toks: &[Token]) -> Vec<&[Token]> {
-    let mut groups = Vec::new();
-    let mut depth = 0i32;
-    let mut start = 0;
-    for (j, t) in toks.iter().enumerate() {
-        if t.kind != TokenKind::Punct {
-            continue;
-        }
-        match t.text.as_str() {
-            "(" | "[" | "{" | "<" => depth += 1,
-            ")" | "]" | "}" | ">" => depth -= 1,
-            "," if depth == 0 => {
-                groups.push(&toks[start..j]);
-                start = j + 1;
-            }
-            _ => {}
+        let [only] = &f.ret[..] else { continue };
+        let power = is_power_name(&f.name) && FLOAT_TYPES.contains(&only.text.as_str());
+        let freq = is_freq_name(&f.name) && NUMERIC_TYPES.contains(&only.text.as_str());
+        if power || freq {
+            let newtype = if power { "Watts" } else { "MegaHertz" };
+            push(
+                diags,
+                src,
+                "U004",
+                f.line,
+                format!(
+                    "unit-named pub fn `{}` returns raw `{}`; return soc_power::units::{newtype}",
+                    f.name, only.text
+                ),
+            );
         }
     }
-    if start < toks.len() {
-        groups.push(&toks[start..]);
-    }
-    groups
-}
-
-/// Skip a `<…>` generics group starting at `open`; returns index past `>`.
-fn skip_angles(toks: &[Token], open: usize) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct("<") {
-            depth += 1;
-        } else if t.is_punct(">") {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j + 1);
-            }
-        }
-    }
-    None
-}
-
-fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
-    matching_punct(toks, open, "(", ")")
-}
-
-fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
-    matching_punct(toks, open, "{", "}")
-}
-
-fn matching_punct(toks: &[Token], open: usize, o: &str, c: &str) -> Option<usize> {
-    let mut depth = 0i32;
-    for (j, t) in toks.iter().enumerate().skip(open) {
-        if t.is_punct(o) {
-            depth += 1;
-        } else if t.is_punct(c) {
-            depth -= 1;
-            if depth == 0 {
-                return Some(j);
-            }
-        }
-    }
-    None
 }
 
 // ---------------------------------------------------------------- R-lints --
@@ -509,10 +422,12 @@ fn robustness_lints(src: &SourceFile, diags: &mut Vec<Diagnostic>) {
 mod tests {
     use super::*;
     use crate::catalog;
+    use crate::parser::parse_file;
 
     fn lint_src(crate_name: &str, path: &str, src: &str) -> Vec<(String, u32)> {
         let sf = SourceFile::parse(path, crate_name, src);
-        check_file(&sf)
+        let model = parse_file(&sf);
+        check_file(&sf, &model, &Layers::builtin_default())
             .into_iter()
             .map(|d| (d.lint.to_string(), d.line))
             .collect()
@@ -552,19 +467,39 @@ mod tests {
     }
 
     #[test]
-    fn d002_observability_crates() {
-        // Bench-side observability crates may not be linked from sim state.
-        assert_eq!(sim("use soc_prof::Profiler;"), [("D002".to_string(), 1)]);
-        assert_eq!(sim("use soc_health::Recorder;"), [("D002".to_string(), 1)]);
-        // A local identifier that merely shares the name is not a crate use.
+    fn a001_layer_violations() {
+        // Sim-state may not reference observation-layer crates…
+        assert_eq!(sim("use soc_prof::Profiler;"), [("A001".to_string(), 1)]);
+        assert_eq!(sim("use soc_health::Recorder;"), [("A001".to_string(), 1)]);
+        // …or tooling.
+        assert_eq!(sim("use soc_bench::Runner;"), [("A001".to_string(), 1)]);
+        // The emit layer is an allowed edge from sim-state.
+        assert!(sim("use soc_telemetry::Sink;").is_empty());
+        // A local identifier that merely shares the name is not a reference.
         assert!(sim("let soc_health = 1;").is_empty());
-        // Outside sim state they are fine.
+        // Observation may read sim-state and emit, and its own layer.
+        assert!(lint_src(
+            "health",
+            "crates/health/src/x.rs",
+            "use soc_telemetry::Row;\nuse soc_cluster::Cluster;\nuse soc_analyze::diff;"
+        )
+        .is_empty());
+        // Tooling may use everything.
         assert!(lint_src(
             "bench",
             "crates/bench/src/x.rs",
-            "use soc_health::Recorder;"
+            "use soc_health::Recorder;\nuse soc_cluster::Cluster;"
         )
         .is_empty());
+        // Observation may not reach tooling.
+        assert_eq!(
+            lint_src(
+                "analyze",
+                "crates/analyze/src/x.rs",
+                "use soc_bench::Runner;"
+            ),
+            [("A001".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -602,13 +537,16 @@ mod tests {
             sim("use crossbeam::channel::bounded;"),
             [("D005".to_string(), 1)]
         );
-        // The par abstraction itself is the sanctioned home of std::thread.
-        assert!(lint_src(
-            "simcore",
-            "crates/simcore/src/par.rs",
-            "use std::thread;\nstd::thread::scope(|s| s);"
-        )
-        .is_empty());
+        // No hard-coded carve-out anymore: the par abstraction flags like any
+        // other sim-state file and holds a justified waiver in lint.toml.
+        assert_eq!(
+            lint_src(
+                "simcore",
+                "crates/simcore/src/par.rs",
+                "use std::thread;\nstd::thread::scope(|s| s);"
+            ),
+            [("D005".to_string(), 1), ("D005".to_string(), 2)]
+        );
         // A local module or field named thread is not std::thread.
         assert!(sim("let t = pool.thread;").is_empty());
         assert!(sim("runtime::thread::park();").is_empty());
@@ -647,6 +585,31 @@ mod tests {
             [("U003".to_string(), 2)]
         );
         assert!(sim("struct Server { budget: Watts }").is_empty());
+    }
+
+    #[test]
+    fn u004_raw_unit_returns() {
+        assert_eq!(
+            sim("pub fn draw_w() -> f64 { 0.0 }"),
+            [("U004".to_string(), 1)]
+        );
+        assert_eq!(
+            sim("pub fn turbo_mhz() -> u32 { 0 }"),
+            [("U004".to_string(), 1)]
+        );
+        // Newtyped, private, or aggregate returns are clean.
+        assert!(sim("pub fn draw_w() -> Watts { Watts(0.0) }").is_empty());
+        assert!(sim("fn draw_w() -> f64 { 0.0 }").is_empty());
+        assert!(sim("pub fn draws_w() -> Vec<f64> { vec![] }").is_empty());
+        // Dimensionless names are clean.
+        assert!(sim("pub fn power_scale_factor() -> f64 { 1.0 }").is_empty());
+        // U-lints are sim-state only.
+        assert!(lint_src(
+            "analyze",
+            "crates/analyze/src/x.rs",
+            "pub fn draw_w() -> f64 { 0.0 }"
+        )
+        .is_empty());
     }
 
     #[test]
@@ -708,6 +671,7 @@ mod tests {
         let everything = "use std::collections::HashMap;\nlet t = Instant::now();\n\
                           let v = std::env::var(\"X\");\nlet r = thread_rng();\n\
                           fn f(budget_w: f64, freq_mhz: u32) {}\nstruct S { power: f64 }\n\
+                          pub fn draw_w() -> f64 { 0.0 }\nuse soc_health::Recorder;\n\
                           fn g() { x.unwrap(); panic!(); let t = now_s as u64; }";
         for (id, _) in sim(everything) {
             assert!(catalog::lint(&id).is_some(), "{id} missing from catalog");

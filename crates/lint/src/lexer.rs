@@ -12,6 +12,11 @@
 //! `r#"…"#` strings (any hash depth, `b`/`br` prefixes), char literals vs
 //! lifetimes, numeric literals with type suffixes, and the multi-char
 //! operators the checks care about (`::`, `->`, `=>`).
+//!
+//! Doc comments are stripped from the token stream like ordinary comments —
+//! their contents must never trigger a token-pattern lint — but [`lex`]
+//! additionally returns them as [`DocLine`]s so the item parser can honor
+//! documented `# Panics` contracts (lint R004).
 
 /// What kind of token this is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,12 +60,36 @@ impl Token {
     }
 }
 
+/// One line of doc-comment text (`///`, `//!`, `/** */`, `/*! */`) with its
+/// 1-based source line. The token stream never contains these; the item
+/// parser reads them to honor documented `# Panics` contracts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocLine {
+    pub line: u32,
+    pub text: String,
+}
+
+/// The full lexer output: the comment/literal-opaque token stream plus the
+/// doc-comment lines stripped out of it.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub docs: Vec<DocLine>,
+}
+
+/// Tokenize Rust source, discarding doc-comment text. See [`lex`] for the
+/// variant that keeps it.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    lex(source).tokens
+}
+
 /// Tokenize Rust source. Never fails: unterminated constructs simply consume
 /// to end-of-file, which is the right degradation for a linter (a file the
 /// compiler rejects will be reported by the build, not by us).
-pub fn tokenize(source: &str) -> Vec<Token> {
+pub fn lex(source: &str) -> Lexed {
     let chars: Vec<char> = source.chars().collect();
     let mut tokens = Vec::new();
+    let mut docs: Vec<DocLine> = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
     while i < chars.len() {
@@ -72,17 +101,53 @@ pub fn tokenize(source: &str) -> Vec<Token> {
             }
             c if c.is_whitespace() => i += 1,
             '/' if chars.get(i + 1) == Some(&'/') => {
-                // Line comment (including `///` and `//!` doc comments).
+                // Line comment. `///` (but not `////`) and `//!` are doc
+                // comments: captured as text, still absent from the tokens.
+                let is_doc = match chars.get(i + 2) {
+                    Some('/') => chars.get(i + 3) != Some(&'/'),
+                    Some('!') => true,
+                    _ => false,
+                };
+                let text_start = i + 3;
                 while i < chars.len() && chars[i] != '\n' {
                     i += 1;
                 }
+                if is_doc {
+                    let text: String = chars[text_start.min(i)..i].iter().collect();
+                    docs.push(DocLine {
+                        line,
+                        text: text.trim().to_string(),
+                    });
+                }
             }
             '/' if chars.get(i + 1) == Some(&'*') => {
-                // Block comment; Rust block comments nest.
+                // Block comment; Rust block comments nest. `/**` (with
+                // content) and `/*!` are doc comments, captured line by line;
+                // the isolated `/**/` and `/***/` are ordinary comments.
+                let is_doc = match chars.get(i + 2) {
+                    Some('*') => {
+                        chars.get(i + 3) != Some(&'/')
+                            && !(chars.get(i + 3) == Some(&'*') && chars.get(i + 4) == Some(&'/'))
+                    }
+                    Some('!') => true,
+                    _ => false,
+                };
                 let mut depth = 1;
                 i += 2;
+                if is_doc {
+                    i += 1; // the `*`/`!` marker, not comment content
+                }
+                let mut buf = String::new();
+                let flush = |line: u32, buf: &mut String, docs: &mut Vec<DocLine>| {
+                    if is_doc {
+                        let text = buf.trim().trim_start_matches('*').trim().to_string();
+                        docs.push(DocLine { line, text });
+                    }
+                    buf.clear();
+                };
                 while i < chars.len() && depth > 0 {
                     if chars[i] == '\n' {
+                        flush(line, &mut buf, &mut docs);
                         line += 1;
                         i += 1;
                     } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
@@ -92,9 +157,12 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                         depth -= 1;
                         i += 2;
                     } else {
+                        buf.push(chars[i]);
                         i += 1;
                     }
                 }
+                // Final (or only) line of the block, `*/` excluded.
+                flush(line, &mut buf, &mut docs);
             }
             '"' => {
                 let start_line = line;
@@ -135,7 +203,8 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                     // Char literal: skip escape-aware to the closing quote.
                     let mut j = i + 1;
                     while j < chars.len() && chars[j] != '\'' {
-                        if chars[j] == '\n' {
+                        if chars[j] == '\n' || (chars[j] == '\\' && chars.get(j + 1) == Some(&'\n'))
+                        {
                             line += 1;
                         }
                         j += if chars[j] == '\\' { 2 } else { 1 };
@@ -188,7 +257,7 @@ pub fn tokenize(source: &str) -> Vec<Token> {
             }
         }
     }
-    tokens
+    Lexed { tokens, docs }
 }
 
 /// Skip a `"…"` string starting at the opening quote index; returns the index
@@ -198,7 +267,14 @@ fn skip_string(chars: &[char], open: usize, line: &mut u32) -> usize {
     let mut j = open + 1;
     while j < chars.len() {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // A line-continuation escape (`\` at end of line) still
+                // advances the line counter or every later diagnostic drifts.
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '"' => return j + 1,
             '\n' => {
                 *line += 1;
@@ -345,5 +421,65 @@ mod tests {
             texts("a::b -> c => d"),
             ["a", "::", "b", "->", "c", "=>", "d"]
         );
+    }
+
+    // --- edge-case regressions (nested comments, raw strings, doc lines) ---
+
+    #[test]
+    fn deeply_nested_block_comments_close_exactly() {
+        // The inner `*/` must not close the outer comment, and the token
+        // after the whole construct must land on the right line.
+        let toks = tokenize("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b");
+        let got: Vec<(String, u32)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(got, [("a".to_string(), 1), ("b".to_string(), 1)]);
+        // Unbalanced nesting consumes to EOF, like rustc.
+        assert_eq!(texts("x /* /* */ y"), ["x"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque_and_line_exact() {
+        // `"#` inside an `r##"…"##` body must not close the literal.
+        let toks = tokenize("r##\"a \"# Instant\nHashMap\"## after");
+        let got: Vec<(String, u32)> = toks.into_iter().map(|t| (t.text, t.line)).collect();
+        assert_eq!(got, [("\"…\"".to_string(), 1), ("after".to_string(), 2)]);
+        // A raw string has no escapes: `\` right before the closing quote.
+        assert_eq!(texts(r#"r"a\" b"#), ["\"…\"", "b"]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // `\` at end of line inside a string literal swallows the newline;
+        // the counter must still advance or every later line drifts.
+        let toks = tokenize("let s = \"a\\\nb\";\nnext");
+        let next = toks.into_iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn doc_comments_are_stripped_but_captured() {
+        let lexed = lex("/// outer HashMap\n//! inner Instant\n//// not-a-doc rand\nfn f() {}");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        // None of the comment contents leak into the token stream.
+        assert_eq!(texts, ["fn", "f", "(", ")", "{", "}"]);
+        let docs: Vec<(u32, &str)> = lexed
+            .docs
+            .iter()
+            .map(|d| (d.line, d.text.as_str()))
+            .collect();
+        assert_eq!(docs, [(1, "outer HashMap"), (2, "inner Instant")]);
+    }
+
+    #[test]
+    fn block_doc_comments_yield_per_line_text() {
+        let lexed = lex("/** first\n * # Panics\n */\nfn f() {}");
+        let docs: Vec<(u32, &str)> = lexed
+            .docs
+            .iter()
+            .map(|d| (d.line, d.text.as_str()))
+            .collect();
+        assert_eq!(docs, [(1, "first"), (2, "# Panics"), (3, "")]);
+        assert_eq!(lexed.tokens[0].line, 4);
+        // `/**/` and `/***/` are ordinary comments, not docs.
+        assert!(lex("/**/ /***/ x").docs.is_empty());
     }
 }

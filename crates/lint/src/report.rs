@@ -37,7 +37,7 @@ impl CheckReport {
             }
         }
         out.push_str(&format!(
-            "\n{} file(s) scanned: {} blocking violation(s), {} waived by lint.toml, {} stale waiver(s)\n",
+            "\nfiles analyzed: {}; {} blocking violation(s), {} waived by lint.toml, {} stale waiver(s)\n",
             self.files,
             self.blocking.len(),
             self.waived.len(),
@@ -94,8 +94,8 @@ fn push_diags(out: &mut String, diags: &[Diagnostic]) {
     out.push(']');
 }
 
-/// Escape a string for JSON output.
-fn json_string(s: &str) -> String {
+/// Escape a string for JSON output (shared with the SARIF renderer).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -153,7 +153,7 @@ mod tests {
         let text = report().render_human();
         assert!(text.contains("crates/power/src/x.rs:7: D001"));
         assert!(text.contains("stale lint.toml entries"));
-        assert!(text.contains("12 file(s) scanned: 1 blocking"));
+        assert!(text.contains("files analyzed: 12; 1 blocking"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! need — which tokens sit inside `#[cfg(test)]` / `#[test]` items, which
 //! crate the file belongs to, and whether it is a binary entry point.
 
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{lex, DocLine, Token};
 
 /// A tokenized source file with lint-relevant structure attached.
 pub struct SourceFile {
@@ -12,6 +12,9 @@ pub struct SourceFile {
     pub crate_name: String,
     /// Token stream (comments and literal contents already stripped).
     pub tokens: Vec<Token>,
+    /// Doc-comment lines stripped out of the token stream, in line order;
+    /// the item parser reads these for documented `# Panics` contracts.
+    pub docs: Vec<DocLine>,
     /// Parallel to `tokens`: true when the token is inside a `#[cfg(test)]`
     /// or `#[test]` item (the attribute itself, the item header, and the
     /// whole body).
@@ -25,13 +28,14 @@ pub struct SourceFile {
 impl SourceFile {
     /// Tokenize `source` and compute structure.
     pub fn parse(path: &str, crate_name: &str, source: &str) -> SourceFile {
-        let tokens = tokenize(source);
-        let in_test = mark_test_regions(&tokens);
+        let lexed = lex(source);
+        let in_test = mark_test_regions(&lexed.tokens);
         let is_bin = path.contains("/src/bin/") || path.ends_with("src/main.rs");
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
-            tokens,
+            tokens: lexed.tokens,
+            docs: lexed.docs,
             in_test,
             is_bin,
         }
@@ -76,10 +80,42 @@ fn attr_is_test(body: &[Token]) -> bool {
         return false;
     };
     if first.is_ident("cfg") {
-        return body.iter().any(|t| t.is_ident("test"));
+        // `test` counts only outside a `not(...)` group: `#[cfg(not(test))]`
+        // gates code that runs everywhere EXCEPT tests, so exempting it from
+        // the R-lints would be exactly backwards.
+        return cfg_mentions_test(body);
     }
     // Bare test-like attribute: last path segment is `test`.
     body.last().is_some_and(|t| t.is_ident("test"))
+}
+
+/// Scan a `cfg(...)` attribute body for `test` outside any `not(...)`.
+fn cfg_mentions_test(body: &[Token]) -> bool {
+    // Depth of nesting inside `not(...)` groups: when >0, `test` is negated.
+    let mut not_depth = 0usize;
+    // Parenthesis depths at which a `not(` group opened.
+    let mut not_opens: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut prev_ident_not = false;
+    for t in body {
+        if t.is_punct("(") {
+            if prev_ident_not {
+                not_depth += 1;
+                not_opens.push(depth);
+            }
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth = depth.saturating_sub(1);
+            if not_opens.last() == Some(&depth) {
+                not_opens.pop();
+                not_depth -= 1;
+            }
+        } else if t.is_ident("test") && not_depth == 0 {
+            return true;
+        }
+        prev_ident_not = t.is_ident("not");
+    }
+    false
 }
 
 /// Index of the token that ends the item starting at `start`: the `}`
@@ -186,6 +222,15 @@ mod tests {
         let src = "#[cfg(feature = \"extra\")]\nfn gated() { q.unwrap(); }";
         let flags = test_flags(src);
         assert!(flags.iter().any(|(t, f)| t == "unwrap" && !*f));
+        // `#[cfg(not(test))]` code runs everywhere EXCEPT under test — it is
+        // ordinary library code and must not be exempt from the R-lints.
+        let src = "#[cfg(not(test))]\nfn prod() { q.unwrap(); }";
+        let flags = test_flags(src);
+        assert!(flags.iter().any(|(t, f)| t == "unwrap" && !*f));
+        // But `test` outside the `not(...)` group still gates the item.
+        let src = "#[cfg(any(test, not(fuzzing)))]\nfn t() { q.unwrap(); }";
+        let flags = test_flags(src);
+        assert!(flags.iter().any(|(t, f)| t == "unwrap" && *f));
     }
 
     #[test]

@@ -1,9 +1,21 @@
-//! Workspace walking and the top-level check runner.
+//! Workspace walking, the whole-workspace analysis, and the top-level check
+//! runner.
+//!
+//! [`analyze_workspace`] is the semantic core: it parses every file into a
+//! token stream and an item model, builds the crate dependency graph and the
+//! intra-workspace call graph, and runs every pass — the per-file lints
+//! (A001, D/U/R series), the A002 transitive-layering pass over the crate
+//! graph, and the D006/R004 taint passes over the call graph. [`run_check`]
+//! wraps it with `lint.toml` loading and the allowlist ratchet.
 
-use crate::allowlist::Allowlist;
 use crate::checks::{self, Diagnostic};
+use crate::config::LintConfig;
+use crate::graph::{CallGraph, CrateGraph, FileRef};
+use crate::parser::{parse_file, FileModel};
 use crate::report::CheckReport;
 use crate::source::SourceFile;
+use crate::taint;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -71,30 +83,149 @@ fn collect_rs(
     Ok(())
 }
 
-/// Lint every workspace file under `root`, filtered through the allowlist at
-/// `allowlist_path` when it exists (a missing allowlist means nothing is
-/// waived, not an error — a fresh checkout with no `lint.toml` still checks).
-pub fn run_check(root: &Path, allowlist_path: &Path) -> Result<CheckReport, String> {
-    let allowlist = if allowlist_path.exists() {
-        let text = fs::read_to_string(allowlist_path)
-            .map_err(|e| format!("{}: {e}", allowlist_path.display()))?;
-        Allowlist::parse(&text)?
-    } else {
-        Allowlist::default()
-    };
-    let files = workspace_files(root)?;
-    let mut diags: Vec<Diagnostic> = Vec::new();
-    for file in &files {
+/// The full semantic analysis of one workspace: every file's token and item
+/// views, both graphs, and the raw (pre-allowlist) diagnostics from every
+/// pass.
+pub struct Analysis {
+    /// `(tokens+metadata, items)` per file, in sorted rel-path order.
+    pub files: Vec<(SourceFile, FileModel)>,
+    pub crate_graph: CrateGraph,
+    pub call_graph: CallGraph,
+    /// All diagnostics, sorted by `(path, line, lint)` and deduplicated.
+    pub diags: Vec<Diagnostic>,
+    /// Indices of `[[allow]]` entries consumed as R004 taint barriers. Such
+    /// an entry never matches a rendered diagnostic (the waived site is
+    /// simply not flagged), so the stale-entry check must exempt it.
+    pub used_barrier_waivers: BTreeSet<usize>,
+}
+
+/// Parse, build graphs, and run every pass over the workspace at `root`.
+pub fn analyze_workspace(root: &Path, config: &LintConfig) -> Result<Analysis, String> {
+    let listed = workspace_files(root)?;
+    let mut files = Vec::with_capacity(listed.len());
+    for file in &listed {
         let text = fs::read_to_string(&file.abs_path)
             .map_err(|e| format!("{}: {e}", file.abs_path.display()))?;
         let src = SourceFile::parse(&file.rel_path, &file.crate_name, &text);
-        diags.extend(checks::check_file(&src));
+        let model = parse_file(&src);
+        files.push((src, model));
     }
-    let (blocking, waived, stale) = allowlist.apply(diags);
+    let refs: Vec<FileRef<'_>> = files
+        .iter()
+        .map(|(src, model)| FileRef {
+            crate_name: &src.crate_name,
+            path: &src.path,
+            model,
+        })
+        .collect();
+    let crate_graph = CrateGraph::build(&refs);
+    let call_graph = CallGraph::build(&refs, &crate_graph);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (src, model) in &files {
+        diags.extend(checks::check_file(src, model, &config.layers));
+    }
+    diags.extend(transitive_layer_lints(&crate_graph, config));
+    diags.extend(taint::determinism_taint(
+        &files,
+        &call_graph,
+        &config.layers,
+    ));
+    let (r004, used_barrier_waivers) =
+        taint::panic_reachability(&files, &call_graph, &config.layers, &config.allowlist);
+    diags.extend(r004);
+    diags.sort_by(|a, b| (&a.path, a.line, a.lint).cmp(&(&b.path, b.line, b.lint)));
+    diags.dedup_by(|a, b| a.lint == b.lint && a.path == b.path && a.line == b.line);
+
+    Ok(Analysis {
+        files,
+        crate_graph,
+        call_graph,
+        diags,
+        used_barrier_waivers,
+    })
+}
+
+/// A002: for every crate, BFS the crate graph; if a crate in a layer its own
+/// layer may not use is reachable, flag the *first hop* of the offending
+/// path — always a real reference site in the offending crate — with the
+/// full chain. Direct (one-hop) violations are A001's per-file job and are
+/// skipped here so one bad edge yields one diagnostic.
+fn transitive_layer_lints(graph: &CrateGraph, config: &LintConfig) -> Vec<Diagnostic> {
+    let layers = &config.layers;
+    let mut diags = Vec::new();
+    for krate in &graph.crates {
+        let Some(my_layer) = layers.layer_of(krate) else {
+            continue;
+        };
+        let pred = graph.reachable_from(krate);
+        for target in pred.keys() {
+            let Some(target_layer) = layers.layer_of(target) else {
+                continue;
+            };
+            if layers.allows(my_layer, target_layer) {
+                continue;
+            }
+            let chain = graph.path_to(krate, target, &pred);
+            if chain.len() <= 2 {
+                continue; // direct edge: A001 already flags the reference
+            }
+            let first_hop = &chain[1];
+            let site = &graph.edges[&(krate.clone(), first_hop.clone())][0];
+            diags.push(Diagnostic {
+                lint: "A002",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "crate `{krate}` (layer `{my_layer}`) reaches `{target}` (layer \
+                     `{target_layer}`) through {}; `[layers.{my_layer}]` in lint.toml \
+                     does not allow that layer",
+                    chain.join(" -> "),
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// Lint every workspace file under `root`, filtered through the allowlist in
+/// the `lint.toml` at `config_path` when it exists (a missing file means
+/// nothing is waived and the builtin layer default applies — a fresh
+/// checkout still checks).
+pub fn run_check(root: &Path, config_path: &Path) -> Result<CheckReport, String> {
+    let config = load_config(config_path)?;
+    let analysis = analyze_workspace(root, &config)?;
+    let files = analysis.files.len();
+    let (blocking, waived, stale) = config.allowlist.apply(analysis.diags);
+    // Waivers consumed as R004 taint barriers never match a diagnostic —
+    // they are doing their job, not stale.
+    let stale = stale
+        .into_iter()
+        .filter(|e| {
+            config
+                .allowlist
+                .entries
+                .iter()
+                .position(|x| std::ptr::eq(x, *e))
+                .is_none_or(|i| !analysis.used_barrier_waivers.contains(&i))
+        })
+        .cloned()
+        .collect();
     Ok(CheckReport {
         blocking,
         waived,
-        stale: stale.into_iter().cloned().collect(),
-        files: files.len(),
+        stale,
+        files,
     })
+}
+
+/// Load `lint.toml`, or the empty default when the file does not exist.
+pub fn load_config(config_path: &Path) -> Result<LintConfig, String> {
+    if config_path.exists() {
+        let text = fs::read_to_string(config_path)
+            .map_err(|e| format!("{}: {e}", config_path.display()))?;
+        LintConfig::parse(&text)
+    } else {
+        Ok(LintConfig::default())
+    }
 }

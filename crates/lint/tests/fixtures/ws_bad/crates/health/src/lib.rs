@@ -1,0 +1,12 @@
+//! Fixture observation-layer crate: nothing wrong here — it exists so the
+//! util-layer helper has something forbidden to reach. Never compiled.
+
+pub struct Recorder {
+    values: Vec<u64>,
+}
+
+impl Recorder {
+    pub fn push(&mut self, v: u64) {
+        self.values.push(v);
+    }
+}

@@ -1,0 +1,21 @@
+//! Known-bad fixture: the laundering helper. A `util`-layer crate that
+//! wraps wall-clock time in an innocent-looking function, reaches up into
+//! the observation layer, and hides a panic behind a clean signature.
+//! Every file here lints clean under the per-file D-lints alone — the
+//! workspace passes (A001/A002, D006, R004) are what catch it. Never
+//! compiled.
+
+use soc_health::Recorder;
+
+pub fn now_ms() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_millis() as u64
+}
+
+pub fn record(r: &Recorder, v: u64) {
+    r.push(v);
+}
+
+pub fn first_of(xs: &[u64]) -> u64 {
+    xs[0]
+}
