@@ -26,7 +26,8 @@ use soc_bench::probe::HealthProbe;
 use soc_bench::Cli;
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::PolicyMetrics;
-use soc_cluster::shard::{simulate_policy_sharded, simulate_policy_sharded_probed};
+use soc_cluster::shard::{generate_fleet, simulate_policy_on_traces_probed};
+use soc_cluster::NoopProbe;
 use soc_telemetry::Telemetry;
 use std::path::PathBuf;
 
@@ -77,6 +78,15 @@ fn main() {
     // outage -> degraded-entry -> recovery end to end.
     let recorder = cli.recorder("exp_fault_tolerance");
 
+    // Traces depend only on the fleet shape and seed — not on the fault
+    // plan or fail-open mode — so generate them once and share them across
+    // every scenario × variant cell. Templates are trained per run inside
+    // `simulate_policy_on_traces_probed` because the fault layer can bias
+    // predictions (not varied here, but per-run training keeps the cells
+    // independent of each other by construction).
+    eprintln!("generating {racks} rack traces once ({threads} threads)...");
+    let fleet = generate_fleet(&base, threads);
+
     let mut t = Table::new(&[
         "outage",
         "system",
@@ -106,9 +116,10 @@ fn main() {
             let outcomes = if health_cell {
                 let probe = HealthProbe::new(recorder.clone());
                 if telemetry.is_enabled() {
-                    simulate_policy_sharded_probed(
+                    simulate_policy_on_traces_probed(
                         &config,
                         variant.policy,
+                        &fleet,
                         &telemetry,
                         threads,
                         &probe,
@@ -119,10 +130,24 @@ fn main() {
                     // sink. Telemetry is pure observation, so outcomes and
                     // stdout are unchanged.
                     let (tm, _sink) = Telemetry::memory();
-                    simulate_policy_sharded_probed(&config, variant.policy, &tm, threads, &probe)
+                    simulate_policy_on_traces_probed(
+                        &config,
+                        variant.policy,
+                        &fleet,
+                        &tm,
+                        threads,
+                        &probe,
+                    )
                 }
             } else {
-                simulate_policy_sharded(&config, variant.policy, &telemetry, threads)
+                simulate_policy_on_traces_probed(
+                    &config,
+                    variant.policy,
+                    &fleet,
+                    &telemetry,
+                    threads,
+                    &NoopProbe,
+                )
             };
             let m = PolicyMetrics::aggregate(variant.policy, &outcomes);
             if len.is_zero() {

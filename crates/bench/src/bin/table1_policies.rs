@@ -16,7 +16,9 @@ use soc_bench::probe::ProfProbe;
 use soc_bench::Cli;
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::{power_groups, PolicyMetrics, RackOutcome};
-use soc_cluster::shard::simulate_policy_sharded_probed;
+use soc_cluster::shard::{
+    generate_fleet_probed, simulate_policy_prepared_probed, train_fleet_probed,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -32,17 +34,24 @@ fn main() {
     }
 
     // Run every policy over the same fleet, racks sharded across workers.
+    // Traces are generated and templates trained exactly once, then shared
+    // by all five policy runs — the per-policy loop times simulation only.
     let telemetry = cli.telemetry();
     let threads = cli.effective_threads();
     let probe = ProfProbe::new(prof.clone());
     prof.set_meta("racks", racks);
+    eprintln!("generating {racks} rack traces once ({threads} threads)...");
+    let fleet = generate_fleet_probed(&config, threads, &probe);
+    let trained = train_fleet_probed(&config, &fleet, threads, &probe);
     let mut outcomes: HashMap<PolicyKind, Vec<RackOutcome>> = HashMap::new();
     for policy in PolicyKind::ALL {
         eprintln!("simulating {policy} over {racks} racks ({threads} threads)...");
         let policy_start = Instant::now();
         outcomes.insert(
             policy,
-            simulate_policy_sharded_probed(&config, policy, &telemetry, threads, &probe),
+            simulate_policy_prepared_probed(
+                &config, policy, &fleet, &trained, &telemetry, threads, &probe,
+            ),
         );
         prof.record(&format!("policy/{}", policy.name()), policy_start.elapsed());
     }

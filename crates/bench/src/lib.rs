@@ -79,6 +79,10 @@ pub struct Cli {
     /// Write the health report as canonical JSON (`--health-out`; implies
     /// `--health`).
     pub health_out: Option<PathBuf>,
+    /// Raw argument list as parsed, for binary-specific flags (see
+    /// [`Cli::extra_flag`]). Unknown flags are deliberately ignored by the
+    /// shared parser so each binary can layer its own on top.
+    pub raw: Vec<String>,
 }
 
 impl Default for Cli {
@@ -95,6 +99,7 @@ impl Default for Cli {
             prof_out: None,
             health: false,
             health_out: None,
+            raw: Vec::new(),
         }
     }
 }
@@ -135,8 +140,12 @@ impl Cli {
 
     /// Parse from an explicit iterator (testable).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Cli {
-        let mut cli = Cli::default();
-        let mut iter = args.into_iter();
+        let raw: Vec<String> = args.into_iter().collect();
+        let mut cli = Cli {
+            raw: raw.clone(),
+            ..Cli::default()
+        };
+        let mut iter = raw.into_iter();
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--seed" => {
@@ -178,6 +187,21 @@ impl Cli {
     /// machine's available parallelism when the flag was absent (`0`).
     pub fn effective_threads(&self) -> usize {
         simcore::par::resolve_threads(self.threads)
+    }
+
+    /// Value of a binary-specific `--flag value` pair from the raw argument
+    /// list, or `None` when the flag is absent (or has no value). The shared
+    /// parser ignores flags it does not know, so binaries use this to layer
+    /// their own options (e.g. `par_speedup`'s `--reps` / `--min-speedup`)
+    /// without re-parsing `std::env::args` themselves.
+    pub fn extra_flag(&self, name: &str) -> Option<&str> {
+        let mut iter = self.raw.iter();
+        while let Some(arg) = iter.next() {
+            if arg == name {
+                return iter.next().map(String::as_str);
+            }
+        }
+        None
     }
 
     /// The telemetry handle implied by `--trace-out` / `SOC_TRACE`: a JSONL
@@ -430,6 +454,16 @@ mod tests {
     fn ignores_unknown_and_bad_values() {
         let cli = parse(&["--wat", "--seed", "notanumber"]);
         assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn extra_flag_reads_binary_specific_options() {
+        let cli = parse(&["--fast", "--reps", "5", "--min-speedup", "1.2"]);
+        assert_eq!(cli.extra_flag("--reps"), Some("5"));
+        assert_eq!(cli.extra_flag("--min-speedup"), Some("1.2"));
+        assert_eq!(cli.extra_flag("--absent"), None);
+        // A trailing flag with no value yields None, not a panic.
+        assert_eq!(parse(&["--reps"]).extra_flag("--reps"), None);
     }
 
     #[test]

@@ -121,10 +121,10 @@ impl LargeScaleConfig {
     }
 }
 
-/// Per-server simulation state.
+/// Per-server mutable control state of the row-oriented reference engine
+/// (the columnar production engine keeps the same fields as parallel columns
+/// in [`crate::columns::ServerColumns`]).
 struct ServerState {
-    template: PowerTemplate,
-    demand_template: PowerTemplate,
     budget: Watts,
     explore_extra: Watts,
     backoff_steps: u32,
@@ -134,6 +134,68 @@ struct ServerState {
     /// A budget update delayed in flight (fault injection): applied once
     /// sim time reaches the delivery instant.
     pending_budget: Option<(SimTime, Watts)>,
+}
+
+/// Trained per-server predictors: the week-1 power template and the
+/// overclock-demand profile, with the static prediction bias of the fault
+/// plan already applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedServer {
+    /// Regular (non-overclocked) power template.
+    pub template: PowerTemplate,
+    /// Overclock demand in watts (cores × per-core delta at typical
+    /// utilization).
+    pub demand_template: PowerTemplate,
+}
+
+/// Week-1 training output for one rack, reusable across policy variants.
+///
+/// Templates depend only on the trace, the power model, and
+/// `config.faults.prediction_bias` — not on the policy — so multi-policy
+/// drivers (`table1_policies`, `par_speedup`) train once and simulate many
+/// times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedRack {
+    /// One trained entry per server, in rack order.
+    pub servers: Vec<TrainedServer>,
+}
+
+/// Build the per-server templates from the first trace week (paper §IV-B).
+///
+/// This is the `rack/setup` phase of [`simulate_rack_probed`], split out so
+/// callers can amortize training across policy variants and keep it out of
+/// timed simulation legs.
+pub fn train_rack(config: &LargeScaleConfig, rack: &RackTrace, model: &PowerModel) -> TrainedRack {
+    let plan = model.plan();
+    let oc_freq = plan.max_overclock();
+    let train_end = SimTime::ZERO + SimDuration::WEEK;
+    let per_core_extra = |util: f64| model.overclock_delta(util.clamp(0.0, 1.0), 1, oc_freq);
+    // Static prediction bias (fault injection): the trained regular-power
+    // templates systematically over- or under-predict. Applied once here so
+    // per-step noise (prediction_factor) is never double-counted.
+    let bias = config.faults.prediction_bias;
+    let servers = rack
+        .servers
+        .iter()
+        .map(|s| {
+            let train_power = s.power.slice(SimTime::ZERO, train_end);
+            let train_util = s.utilization.slice(SimTime::ZERO, train_end);
+            let train_demand = s.oc_demand_cores.slice(SimTime::ZERO, train_end);
+            // Demand in watts: cores × per-core delta at the typical
+            // utilization of this server.
+            let util = simcore::stats::mean(train_util.values());
+            let demand_watts = train_demand.map(|cores| cores * per_core_extra(util).get());
+            let mut template = PowerTemplate::build(&train_power, TemplateKind::DailyMed);
+            if bias != 1.0 {
+                template = template.map_values(|v| v * bias);
+            }
+            TrainedServer {
+                template,
+                demand_template: PowerTemplate::build(&demand_watts, TemplateKind::DailyMed),
+            }
+        })
+        .collect();
+    TrainedRack { servers }
 }
 
 /// Simulate one policy over a freshly generated fleet; returns per-rack
@@ -202,53 +264,64 @@ pub fn simulate_rack_probed(
     telemetry: &Telemetry,
     probe: &dyn ShardProbe,
 ) -> RackOutcome {
+    // --- Training: build templates from week 1. ---
+    let setup_span = probe.span("rack/setup");
+    let trained = train_rack(config, rack, model);
+    drop(setup_span);
+    crate::columns::simulate_rack_columnar(config, policy, rack, model, &trained, telemetry, probe)
+}
+
+/// [`simulate_rack_probed`] over pre-trained templates: the columnar
+/// production engine without the `rack/setup` phase. Timed benchmark legs
+/// (`par_speedup`) call this so measured time is pure simulation.
+pub fn simulate_rack_trained_probed(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    rack: &RackTrace,
+    model: &PowerModel,
+    trained: &TrainedRack,
+    telemetry: &Telemetry,
+    probe: &dyn ShardProbe,
+) -> RackOutcome {
+    crate::columns::simulate_rack_columnar(config, policy, rack, model, trained, telemetry, probe)
+}
+
+/// The pre-columnar row-oriented engine, kept verbatim as an executable
+/// specification: a `Vec<ServerState>` of structs, per-server
+/// `PowerTemplate::predict` calls in the inner loop, and fresh per-step
+/// allocations. [`crate::columns`] must stay byte-identical to this —
+/// `tests/equivalence.rs` pins it across seeds × thread counts × fault
+/// plans, and `par_speedup` both times the two engines against each other
+/// (the committed `speedup`) and asserts their outcomes agree on every run.
+pub fn simulate_rack_reference(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    rack: &RackTrace,
+    model: &PowerModel,
+    trained: &TrainedRack,
+    telemetry: &Telemetry,
+) -> RackOutcome {
     let plan = model.plan();
     let oc_freq = plan.max_overclock();
     let train_end = SimTime::ZERO + SimDuration::WEEK;
     let trace_end = SimTime::ZERO + SimDuration::WEEK * config.weeks;
-    let per_core_extra = |util: f64| model.overclock_delta(util.clamp(0.0, 1.0), 1, oc_freq);
     // The fault schedule covers the evaluation weeks only; it is a pure
     // function of the plan config, so every shard realizes the same
     // timeline regardless of execution order.
     let faults = FaultPlan::generate(&config.faults, train_end, trace_end);
-
-    // --- Training: build templates from week 1. ---
-    let setup_span = probe.span("rack/setup");
     let weekly_allowance = SimDuration::WEEK.mul_f64(config.oc_time_fraction);
-    let mut servers: Vec<ServerState> = rack
+    let mut servers: Vec<ServerState> = trained
         .servers
         .iter()
-        .map(|s| {
-            let train_power = s.power.slice(SimTime::ZERO, train_end);
-            let train_util = s.utilization.slice(SimTime::ZERO, train_end);
-            let train_demand = s.oc_demand_cores.slice(SimTime::ZERO, train_end);
-            // Demand in watts: cores × per-core delta at the typical
-            // utilization of this server.
-            let util = simcore::stats::mean(train_util.values());
-            let demand_watts = train_demand.map(|cores| cores * per_core_extra(util).get());
-            ServerState {
-                template: PowerTemplate::build(&train_power, TemplateKind::DailyMed),
-                demand_template: PowerTemplate::build(&demand_watts, TemplateKind::DailyMed),
-                budget: Watts::ZERO,
-                explore_extra: Watts::ZERO,
-                backoff_steps: 0,
-                backoff_remaining: 0,
-                oc_remaining: weekly_allowance,
-                pending_budget: None,
-            }
+        .map(|_| ServerState {
+            budget: Watts::ZERO,
+            explore_extra: Watts::ZERO,
+            backoff_steps: 0,
+            backoff_remaining: 0,
+            oc_remaining: weekly_allowance,
+            pending_budget: None,
         })
         .collect();
-    // Static prediction bias (fault injection): the trained regular-power
-    // templates systematically over- or under-predict. Applied once here so
-    // per-step noise (prediction_factor) is never double-counted.
-    if faults.config().prediction_bias != 1.0 {
-        let bias = faults.config().prediction_bias;
-        for s in &mut servers {
-            s.template = s.template.clone().map_values(|v| v * bias);
-        }
-    }
-
-    drop(setup_span);
 
     let mut monitor = RackMonitor::new(rack.limit, 0.95);
     let mut outcome = RackOutcome::new(rack.index, rack.mean_utilization());
@@ -262,14 +335,6 @@ pub fn simulate_rack_probed(
     let mut delayed_updates = 0u64;
     let mut telemetry_gaps = 0u64;
     let sim_decision = telemetry.next_id();
-    // The contracted limit as a (constant) health series, so draw can be
-    // reported as a fraction of it.
-    probe.gauge(
-        train_end.as_micros(),
-        "rack_limit_w",
-        rack.index as u64,
-        rack.limit.get(),
-    );
     tm_event!(telemetry, train_end, Component::Sim, Severity::Info, "rack_sim_start",
         "rack" => rack.index,
         "policy" => policy.name(),
@@ -325,7 +390,8 @@ pub fn simulate_rack_probed(
         if goa_down {
             outcome.stale_budget_steps += 1;
         } else {
-            let demands: Vec<DemandProfile> = servers
+            let demands: Vec<DemandProfile> = trained
+                .servers
                 .iter()
                 .map(|s| DemandProfile {
                     regular: Watts::new(s.template.predict(t).max(0.0)),
@@ -373,7 +439,6 @@ pub fn simulate_rack_probed(
         }
 
         // --- Admission per server. ---
-        let admission_span = probe.span("rack/admission");
         let n = servers.len();
         let mut base_total = Watts::ZERO;
         let mut extras = vec![Watts::ZERO; n];
@@ -425,7 +490,8 @@ pub fn simulate_rack_probed(
                 // of exactly 1.0 when unconfigured).
                 let entity = FaultPlan::entity_id(rack.index, i);
                 let predicted = Watts::new(
-                    (servers[i].template.predict(t) * faults.prediction_factor(t, entity)).max(0.0),
+                    (trained.servers[i].template.predict(t) * faults.prediction_factor(t, entity))
+                        .max(0.0),
                 );
                 predicted + extra <= servers[i].budget + servers[i].explore_extra
             };
@@ -441,8 +507,6 @@ pub fn simulate_rack_probed(
         }
 
         // --- Rack aggregation and enforcement. ---
-        drop(admission_span);
-        let aggregation_span = probe.span("rack/aggregation");
         let mut draw = base_total + extras.iter().copied().sum::<Watts>();
         let mut perf = vec![0.0f64; n]; // effective speedup of demand servers
         let oc_ratio = oc_freq.ratio(plan.turbo());
@@ -527,9 +591,6 @@ pub fn simulate_rack_probed(
                 "cause_id" => sim_decision);
         }
         outcome.max_draw = outcome.max_draw.max(draw);
-        // Pure observation (works with telemetry disabled): per-step rack
-        // draw for health series. One worker feeds each rack, in time order.
-        probe.gauge(t.as_micros(), "rack_draw_w", rack.index as u64, draw.get());
         telemetry.metrics(|m| {
             m.observe(
                 "sim_rack_draw_w",
@@ -581,11 +642,9 @@ pub fn simulate_rack_probed(
                 outcome.perf_samples += 1;
             }
         }
-        drop(aggregation_span);
         outcome.steps += 1;
         t += config.step;
     }
-    probe.add("sim_steps", outcome.steps);
     outcome.capping_events = monitor.capping_events();
     // Fault accounting rides in its own record so fault-free traces stay
     // byte-for-byte what they were before the faults layer existed.

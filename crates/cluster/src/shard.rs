@@ -23,12 +23,17 @@
 //!    histograms merge bucket-wise.
 
 use crate::harness::{ClusterConfig, ClusterResult, ClusterSim};
-use crate::largescale::{simulate_rack_probed, LargeScaleConfig};
+use crate::largescale::{
+    simulate_rack_probed, simulate_rack_reference, simulate_rack_trained_probed, train_rack,
+    LargeScaleConfig, TrainedRack,
+};
 use crate::largescale_metrics::RackOutcome;
 use crate::probe::{NoopProbe, ShardProbe};
 use simcore::par;
 use smartoclock::policy::PolicyKind;
+use soc_power::model::PowerModel;
 use soc_telemetry::{MetricsSnapshot, Telemetry};
+use soc_traces::fleet::RackTrace;
 use soc_traces::gen::TraceGenerator;
 
 /// Decision-id bit layout for shard-local telemetry handles:
@@ -82,36 +87,75 @@ pub fn simulate_policy_sharded_probed(
     threads: usize,
     probe: &dyn ShardProbe,
 ) -> Vec<RackOutcome> {
+    validate(config);
+    let generator = TraceGenerator::new(config.seed);
+    let fleet_cfg = config.fleet_config();
+    // The streaming path: each worker generates, trains, and simulates its
+    // rack and drops the trace immediately — memory stays bounded by the
+    // worker count, not the fleet size (the 100k-rack smoke test rides on
+    // this). Multi-policy drivers amortize generation with
+    // [`generate_fleet`] + [`simulate_policy_prepared`] instead.
+    drive_sharded(
+        threads,
+        (0..config.racks).collect(),
+        telemetry,
+        probe,
+        |r, _, local, probe| {
+            let gen_span = probe.span("shard/trace_gen");
+            let rack = generator.generate_rack(&fleet_cfg, r);
+            let model = generator.model_for(rack.generation);
+            drop(gen_span);
+            let sim_span = probe.span("shard/sim");
+            let outcome = simulate_rack_probed(config, policy, &rack, &model, local, probe);
+            drop(sim_span);
+            outcome
+        },
+    )
+}
+
+/// Weeks/racks validation shared by every large-scale entry point.
+fn validate(config: &LargeScaleConfig) {
     assert!(
         config.weeks >= 2,
         "need at least one training and one evaluation week"
     );
     assert!(config.racks > 0, "need at least one rack");
-    let generator = TraceGenerator::new(config.seed);
-    let fleet_cfg = config.fleet_config();
+}
+
+/// The deterministic fan-out/merge skeleton shared by every sharded
+/// large-scale path (streaming, pre-generated, reference): allocates the run
+/// id serially before the fan-out, gives each rack a buffered telemetry
+/// handle with a deterministic id base, and replays shard buffers in
+/// canonical rack order — so the output byte-stream is a pure function of
+/// `(config, policy)`, never of `threads`.
+fn drive_sharded<I, F>(
+    threads: usize,
+    items: Vec<I>,
+    telemetry: &Telemetry,
+    probe: &dyn ShardProbe,
+    sim: F,
+) -> Vec<RackOutcome>
+where
+    I: Send,
+    F: Fn(usize, I, &Telemetry, &dyn ShardProbe) -> RackOutcome + Sync,
+{
+    let n = items.len();
     // Allocate the run id serially, before the fan-out: thread-count
     // independent by construction (0 when telemetry is disabled).
     let run_id = telemetry.next_id();
     let enabled = telemetry.is_enabled();
-    let sharded = par::par_map(threads, (0..config.racks).collect(), |_, r| {
-        let gen_span = probe.span("shard/trace_gen");
-        let rack = generator.generate_rack(&fleet_cfg, r);
-        let model = generator.model_for(rack.generation);
-        drop(gen_span);
-        let sim_span = probe.span("shard/sim");
-        let sharded = if enabled {
+    let sharded = par::par_map(threads, items, |r, item| {
+        if enabled {
             let (local, sink) = Telemetry::buffered(shard_id_base(run_id, r));
-            let outcome = simulate_rack_probed(config, policy, &rack, &model, &local, probe);
+            let outcome = sim(r, item, &local, probe);
             (outcome, sink.events(), local.metrics_snapshot())
         } else {
             let disabled = Telemetry::disabled();
-            let outcome = simulate_rack_probed(config, policy, &rack, &model, &disabled, probe);
+            let outcome = sim(r, item, &disabled, probe);
             (outcome, Vec::new(), MetricsSnapshot::default())
-        };
-        drop(sim_span);
-        sharded
+        }
     });
-    probe.add("racks", config.racks as u64);
+    probe.add("racks", n as u64);
     let merge_span = probe.span("merge");
     let outcomes = sharded
         .into_iter()
@@ -129,6 +173,201 @@ pub fn simulate_policy_sharded_probed(
         .collect();
     drop(merge_span);
     outcomes
+}
+
+/// A fleet's traces and power models, generated once and shared across
+/// policy variants and benchmark legs (the `par_speedup` methodology fix:
+/// trace generation used to run inside every timed path and dominated it).
+#[derive(Debug, Clone)]
+pub struct FleetTraces {
+    racks: Vec<(RackTrace, PowerModel)>,
+}
+
+impl FleetTraces {
+    /// Number of racks.
+    pub fn len(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// `true` when the fleet holds no racks.
+    pub fn is_empty(&self) -> bool {
+        self.racks.is_empty()
+    }
+
+    /// Iterate over `(trace, model)` pairs in rack order.
+    pub fn iter(&self) -> impl Iterator<Item = &(RackTrace, PowerModel)> {
+        self.racks.iter()
+    }
+}
+
+/// Week-1 training output for a whole fleet (see
+/// [`crate::largescale::TrainedRack`]), reusable across policy variants.
+#[derive(Debug, Clone)]
+pub struct TrainedFleet {
+    racks: Vec<TrainedRack>,
+}
+
+impl TrainedFleet {
+    /// Trained racks in rack order.
+    pub fn racks(&self) -> &[TrainedRack] {
+        &self.racks
+    }
+}
+
+/// Generate every rack's trace exactly once, dealt across `threads` workers
+/// (each rack's trace derives from an independent seeded stream, so
+/// generation order is irrelevant to the bytes produced).
+///
+/// # Panics
+/// Panics if `config.weeks < 2` or `config.racks == 0`.
+pub fn generate_fleet(config: &LargeScaleConfig, threads: usize) -> FleetTraces {
+    generate_fleet_probed(config, threads, &NoopProbe)
+}
+
+/// [`generate_fleet`] with performance observation hooks
+/// (`"shard/trace_gen"` per rack).
+///
+/// # Panics
+/// Panics if `config.weeks < 2` or `config.racks == 0`.
+pub fn generate_fleet_probed(
+    config: &LargeScaleConfig,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> FleetTraces {
+    validate(config);
+    let generator = TraceGenerator::new(config.seed);
+    let fleet_cfg = config.fleet_config();
+    let racks = par::par_map(threads, (0..config.racks).collect(), |_, r| {
+        let gen_span = probe.span("shard/trace_gen");
+        let rack = generator.generate_rack(&fleet_cfg, r);
+        let model = generator.model_for(rack.generation);
+        drop(gen_span);
+        (rack, model)
+    });
+    FleetTraces { racks }
+}
+
+/// Train every rack's templates once (`"rack/setup"` per rack), for reuse
+/// across policy variants: templates depend on the trace, the model, and
+/// `config.faults.prediction_bias` — not on the policy.
+pub fn train_fleet_probed(
+    config: &LargeScaleConfig,
+    fleet: &FleetTraces,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> TrainedFleet {
+    let racks = par::par_map(threads, fleet.racks.iter().collect(), |_, (rack, model)| {
+        let setup_span = probe.span("rack/setup");
+        let trained = train_rack(config, rack, model);
+        drop(setup_span);
+        trained
+    });
+    TrainedFleet { racks }
+}
+
+/// [`simulate_policy_sharded_probed`] over a pre-generated fleet and
+/// pre-trained templates: the pure-simulation path (columnar engine, no
+/// generation or training inside), byte-identical to the streaming path for
+/// the same `(config, policy)`.
+///
+/// # Panics
+/// Panics if `fleet` and `trained` disagree on the rack count.
+pub fn simulate_policy_prepared_probed(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    fleet: &FleetTraces,
+    trained: &TrainedFleet,
+    telemetry: &Telemetry,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> Vec<RackOutcome> {
+    validate(config);
+    assert_eq!(
+        fleet.racks.len(),
+        trained.racks.len(),
+        "fleet and trained rack counts must match"
+    );
+    let items: Vec<(&(RackTrace, PowerModel), &TrainedRack)> =
+        fleet.racks.iter().zip(trained.racks.iter()).collect();
+    drive_sharded(
+        threads,
+        items,
+        telemetry,
+        probe,
+        |_, ((rack, model), tr), local, probe| {
+            let sim_span = probe.span("shard/sim");
+            let outcome =
+                simulate_rack_trained_probed(config, policy, rack, model, tr, local, probe);
+            drop(sim_span);
+            outcome
+        },
+    )
+}
+
+/// [`simulate_policy_prepared_probed`] without pre-trained templates:
+/// trains inside each worker (`"rack/setup"` spans), for drivers whose
+/// fault plans (and therefore prediction bias) vary between runs but whose
+/// traces do not (`exp_fault_tolerance`).
+pub fn simulate_policy_on_traces_probed(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    fleet: &FleetTraces,
+    telemetry: &Telemetry,
+    threads: usize,
+    probe: &dyn ShardProbe,
+) -> Vec<RackOutcome> {
+    validate(config);
+    drive_sharded(
+        threads,
+        fleet.racks.iter().collect(),
+        telemetry,
+        probe,
+        |_, (rack, model), local, probe| {
+            let setup_span = probe.span("rack/setup");
+            let trained = train_rack(config, rack, model);
+            drop(setup_span);
+            let sim_span = probe.span("shard/sim");
+            let outcome =
+                simulate_rack_trained_probed(config, policy, rack, model, &trained, local, probe);
+            drop(sim_span);
+            outcome
+        },
+    )
+}
+
+/// The retained row-oriented reference engine over the same pre-generated
+/// fleet and trained templates, serial by construction. `par_speedup` times
+/// this against [`simulate_policy_prepared_probed`] (the committed
+/// `speedup`), and `tests/equivalence.rs` pins byte-identity between the
+/// two engines; both consume identical inputs, so any divergence is an
+/// engine bug, never a data difference.
+///
+/// # Panics
+/// Panics if `fleet` and `trained` disagree on the rack count.
+pub fn simulate_policy_prepared_reference(
+    config: &LargeScaleConfig,
+    policy: PolicyKind,
+    fleet: &FleetTraces,
+    trained: &TrainedFleet,
+    telemetry: &Telemetry,
+) -> Vec<RackOutcome> {
+    validate(config);
+    assert_eq!(
+        fleet.racks.len(),
+        trained.racks.len(),
+        "fleet and trained rack counts must match"
+    );
+    let items: Vec<(&(RackTrace, PowerModel), &TrainedRack)> =
+        fleet.racks.iter().zip(trained.racks.iter()).collect();
+    drive_sharded(
+        1,
+        items,
+        telemetry,
+        &NoopProbe,
+        |_, ((rack, model), tr), local, _| {
+            simulate_rack_reference(config, policy, rack, model, tr, local)
+        },
+    )
 }
 
 /// Run several independent closed-loop cluster simulations across `threads`

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use simcore::faults::FaultPlan;
 use simcore::series::TimeSeries;
 use simcore::time::SimTime;
-use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
+use soc_power::hierarchy::{heterogeneous_split, heterogeneous_split_into, DemandProfile};
 use soc_power::model::PowerModel;
 use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::{PowerTemplate, TemplateKind};
@@ -123,6 +123,23 @@ impl GlobalOverclockAgent {
             heterogeneous_split(self.rack_limit, demands)
         } else {
             vec![self.rack_limit / demands.len() as f64; demands.len()]
+        }
+    }
+
+    /// Allocation-free [`budgets_for`](Self::budgets_for): clears `out` and
+    /// fills it with the same budgets, reusing its capacity. Every budget
+    /// refresh of the large-scale hot path goes through this, so the split
+    /// must not allocate in steady state.
+    ///
+    /// # Panics
+    /// Panics if `demands` is empty.
+    pub fn budgets_for_into(&self, demands: &[DemandProfile], out: &mut Vec<Watts>) {
+        assert!(!demands.is_empty(), "need at least one server");
+        if self.policy.heterogeneous_budgets() {
+            heterogeneous_split_into(self.rack_limit, demands, out);
+        } else {
+            out.clear();
+            out.resize(demands.len(), self.rack_limit / demands.len() as f64);
         }
     }
 

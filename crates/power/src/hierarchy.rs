@@ -143,6 +143,19 @@ pub struct DemandProfile {
 /// # Panics
 /// Panics if `children` is empty or any demand is negative.
 pub fn heterogeneous_split(budget: Watts, children: &[DemandProfile]) -> Vec<Watts> {
+    let mut out = Vec::with_capacity(children.len());
+    heterogeneous_split_into(budget, children, &mut out);
+    out
+}
+
+/// Allocation-free [`heterogeneous_split`]: clears `out` and fills it with
+/// the same budgets, reusing its capacity. The per-step hot path of the
+/// large-scale simulation calls this every budget refresh, so steady-state
+/// allocation counts must not scale with simulated steps.
+///
+/// # Panics
+/// Panics if `children` is empty or any demand is negative.
+pub fn heterogeneous_split_into(budget: Watts, children: &[DemandProfile], out: &mut Vec<Watts>) {
     assert!(!children.is_empty(), "cannot split across zero children");
     for c in children {
         assert!(
@@ -150,23 +163,27 @@ pub fn heterogeneous_split(budget: Watts, children: &[DemandProfile]) -> Vec<Wat
             "demands must be non-negative"
         );
     }
+    out.clear();
     let regular_total: Watts = children.iter().map(|c| c.regular).sum();
     if regular_total > budget {
         // Infeasible even without overclocking: scale proportionally.
         let scale = budget.ratio(regular_total);
-        return children.iter().map(|c| c.regular * scale).collect();
+        out.extend(children.iter().map(|c| c.regular * scale));
+        return;
     }
     let headroom = budget - regular_total;
     let demand_total: Watts = children.iter().map(|c| c.overclock_demand).sum();
     if demand_total.get() <= 0.0 {
         // No overclocking demand anywhere: split headroom evenly.
         let share = headroom / children.len() as f64;
-        return children.iter().map(|c| c.regular + share).collect();
+        out.extend(children.iter().map(|c| c.regular + share));
+        return;
     }
-    children
-        .iter()
-        .map(|c| c.regular + headroom * c.overclock_demand.ratio(demand_total))
-        .collect()
+    out.extend(
+        children
+            .iter()
+            .map(|c| c.regular + headroom * c.overclock_demand.ratio(demand_total)),
+    );
 }
 
 #[cfg(test)]

@@ -197,6 +197,27 @@ impl PowerModel {
             * oc_cores as f64
     }
 
+    /// Precompute the frequency-dependent factors of [`overclock_delta`]
+    /// for one fixed overclock frequency.
+    ///
+    /// Admission loops evaluate the delta once per requesting server per
+    /// step, always at the same `oc_freq`; the two
+    /// `dynamic_power_factor` evaluations inside (two divisions each) are
+    /// pure functions of the constant plan and frequency, so they can be
+    /// hoisted out of the loop. [`OverclockDeltaFn::at`] then performs the
+    /// exact floating-point operation sequence of the per-call form on the
+    /// hoisted factors, making its results bit-identical (pinned by a
+    /// property test below).
+    ///
+    /// [`overclock_delta`]: PowerModel::overclock_delta
+    pub fn overclock_delta_fn(&self, oc_freq: MegaHertz) -> OverclockDeltaFn {
+        OverclockDeltaFn {
+            per_core_dyn_turbo: self.per_core_dyn_turbo,
+            dpf_oc: self.curve.dynamic_power_factor(oc_freq),
+            dpf_turbo: self.curve.dynamic_power_factor(self.plan().turbo()),
+        }
+    }
+
     /// Invert the uniform model: estimate average utilization from observed
     /// server power at a known frequency. Clamped to `[0, 1]`.
     pub fn utilization_from_power(&self, power: Watts, frequency: MegaHertz) -> f64 {
@@ -240,6 +261,35 @@ impl PowerModel {
 impl Default for PowerModel {
     fn default() -> Self {
         PowerModel::reference_server()
+    }
+}
+
+/// [`PowerModel::overclock_delta`] with its frequency factors hoisted; see
+/// [`PowerModel::overclock_delta_fn`].
+#[derive(Debug, Clone, Copy)]
+pub struct OverclockDeltaFn {
+    per_core_dyn_turbo: Watts,
+    dpf_oc: f64,
+    dpf_turbo: f64,
+}
+
+impl OverclockDeltaFn {
+    /// Extra power from overclocking `oc_cores` cores at `utilization`,
+    /// bit-identical to `overclock_delta(utilization, oc_cores, oc_freq)`
+    /// on the model and frequency this was built from: same values, same
+    /// operation order (`per_core · (u · dpf)` per frequency, subtract,
+    /// scale by core count).
+    ///
+    /// # Panics
+    /// Panics if `utilization` is outside `[0, 1]`, like the per-call form.
+    pub fn at(&self, utilization: f64, oc_cores: usize) -> Watts {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization must be in [0, 1], got {utilization}"
+        );
+        (self.per_core_dyn_turbo * (utilization * self.dpf_oc)
+            - self.per_core_dyn_turbo * (utilization * self.dpf_turbo))
+            * oc_cores as f64
     }
 }
 
@@ -363,6 +413,24 @@ mod tests {
             let (r, e) = m.split_regular_overclock(observed, oc, m.plan().max_overclock());
             prop_assert!(((r + e) - observed).get().abs() < 1e-6);
             prop_assert!(r.get() >= 0.0 && e.get() >= 0.0);
+        }
+
+        #[test]
+        fn hoisted_overclock_delta_is_bit_identical(
+            util in 0.0..=1.0f64,
+            cores in 0usize..64,
+            f in 2450u32..=4000,
+        ) {
+            // The columnar engine hoists the frequency factors out of the
+            // admission loop; bit equality (not approximate equality) is
+            // what keeps that engine byte-identical to the reference.
+            let m = model();
+            let freq = MegaHertz::new(f);
+            let hoisted = m.overclock_delta_fn(freq);
+            prop_assert_eq!(
+                hoisted.at(util, cores).get().to_bits(),
+                m.overclock_delta(util, cores, freq).get().to_bits()
+            );
         }
     }
 }

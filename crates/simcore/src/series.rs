@@ -115,13 +115,21 @@ impl TimeSeries {
         self.start + self.step * i as u64
     }
 
-    /// Sample covering instant `t`, if within range.
-    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+    /// Slot index of the sample covering instant `t`, or `None` if `t` is
+    /// before the series start. The index may be past the end of the data;
+    /// `value_at(t) == self.values().get(self.index_at(t)?)`. Batched
+    /// consumers (the columnar rack engine) compute the index once per step
+    /// and probe many same-shaped series with it.
+    pub fn index_at(&self, t: SimTime) -> Option<usize> {
         if t < self.start {
             return None;
         }
-        let idx = (t.since(self.start).as_micros() / self.step.as_micros()) as usize;
-        self.values.get(idx).copied()
+        Some((t.since(self.start).as_micros() / self.step.as_micros()) as usize)
+    }
+
+    /// Sample covering instant `t`, if within range.
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        self.values.get(self.index_at(t)?).copied()
     }
 
     /// Iterate over `(timestamp, value)` pairs.

@@ -13,10 +13,27 @@ use smartoclock::policy::PolicyKind;
 use soc_bench::probe::ProfProbe;
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::probe::{NoopProbe, ShardProbe};
-use soc_cluster::shard::simulate_policy_sharded_probed;
+use soc_cluster::shard::{
+    generate_fleet, simulate_policy_prepared_probed, simulate_policy_sharded_probed,
+    train_fleet_probed,
+};
 use soc_prof::Profiler;
 use soc_telemetry::json::event_to_json;
 use soc_telemetry::Telemetry;
+use std::sync::Mutex;
+
+// The allocation-regression test below reads the process-global counters
+// behind this allocator, so every test in this binary serializes on
+// [`SERIAL`] — otherwise a concurrently-running test's allocations would
+// land inside another test's measured window.
+#[global_allocator]
+static ALLOC: soc_prof::CountingAlloc = soc_prof::CountingAlloc;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn small_config(seed: u64) -> LargeScaleConfig {
     let mut cfg = LargeScaleConfig::small_test();
@@ -45,6 +62,7 @@ fn probed_run(
 
 #[test]
 fn profiled_run_is_byte_identical_to_unprofiled() {
+    let _guard = serialized();
     let cfg = small_config(11);
     for threads in [1, 4] {
         let baseline = probed_run(&cfg, threads, &NoopProbe);
@@ -76,6 +94,7 @@ fn profiled_run_is_byte_identical_to_unprofiled() {
 
 #[test]
 fn disabled_profiler_probe_records_nothing() {
+    let _guard = serialized();
     // `--prof` off hands bench binaries a disabled Profiler; the probe must
     // then return no tokens and the snapshot must stay empty.
     let cfg = small_config(11);
@@ -93,6 +112,7 @@ fn disabled_profiler_probe_records_nothing() {
 
 #[test]
 fn profiled_runs_are_reproducible_across_thread_counts() {
+    let _guard = serialized();
     // The committed baseline is generated at --threads 2; nothing about the
     // probe may couple snapshot *simulation* content to the thread count.
     let cfg = small_config(23);
@@ -104,4 +124,55 @@ fn profiled_runs_are_reproducible_across_thread_counts() {
         assert_eq!(one.1, probed.1, "metrics differ at {threads} threads");
         assert_eq!(one.2, probed.2, "outcomes differ at {threads} threads");
     }
+}
+
+/// Allocations of one steady-state simulation pass: traces pre-generated,
+/// templates pre-trained, telemetry disabled, serial — the measured window
+/// covers only the columnar engine itself (after one warm-up pass).
+fn sim_alloc_delta(weeks: u64) -> u64 {
+    let mut cfg = small_config(42);
+    cfg.weeks = weeks;
+    let fleet = generate_fleet(&cfg, 1);
+    let trained = train_fleet_probed(&cfg, &fleet, 1, &NoopProbe);
+    let telemetry = Telemetry::disabled();
+    let run = || {
+        simulate_policy_prepared_probed(
+            &cfg,
+            PolicyKind::SmartOClock,
+            &fleet,
+            &trained,
+            &telemetry,
+            1,
+            &NoopProbe,
+        )
+    };
+    let warmup = run();
+    let (before, _) = soc_prof::alloc_counts();
+    let measured = run();
+    let (after, _) = soc_prof::alloc_counts();
+    assert_eq!(warmup, measured, "sim must be deterministic");
+    after - before
+}
+
+#[test]
+fn steady_state_allocations_are_bounded_and_step_independent() {
+    let _guard = serialized();
+    // Absolute ceiling: per-run allocations are per-rack setup (columns,
+    // step buffers, slot tables, fault plan, outcome) — O(racks × servers),
+    // measured at 82 for this config. The ceiling has ample headroom for
+    // toolchain drift, while a per-step allocation sneaking back into the
+    // hot loop (4 racks × ~672 evaluated steps) blows straight through it.
+    let w2 = sim_alloc_delta(2);
+    assert!(
+        w2 < 1_000,
+        "steady-state sim made {w2} allocations (ceiling 1000) — \
+         something allocates per step again"
+    );
+    // Step-independence: weeks=3 evaluates twice the steps of weeks=2 but
+    // must allocate the same, modulo a tiny constant.
+    let w3 = sim_alloc_delta(3);
+    assert!(
+        w3 <= w2 + 64,
+        "allocations scale with sim steps: weeks=2 -> {w2}, weeks=3 -> {w3}"
+    );
 }
