@@ -30,7 +30,9 @@
 //! fault plans, and `par_speedup` re-asserts outcome agreement on every
 //! benchmark run.
 
-use crate::largescale::{LargeScaleConfig, TrainedRack, TrainedServer};
+use crate::largescale::{
+    emit_binning_events, resolve_rack_silicon, LargeScaleConfig, TrainedRack, TrainedServer,
+};
 use crate::largescale_metrics::RackOutcome;
 use crate::probe::ShardProbe;
 use simcore::faults::FaultPlan;
@@ -39,9 +41,9 @@ use smartoclock::epoch::EpochTracker;
 use smartoclock::goa::GlobalOverclockAgent;
 use smartoclock::policy::PolicyKind;
 use soc_power::hierarchy::DemandProfile;
-use soc_power::model::PowerModel;
+use soc_power::model::{OverclockDeltaFn, PowerModel};
 use soc_power::rack::RackMonitor;
-use soc_power::units::Watts;
+use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::TemplateSlot;
 use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_traces::fleet::{RackTrace, ServerSeriesView};
@@ -309,11 +311,54 @@ pub(crate) fn simulate_rack_columnar(
     let faults = FaultPlan::generate(&config.faults, train_end, trace_end);
     let weekly_allowance = SimDuration::WEEK.mul_f64(config.oc_time_fraction);
     let n = rack.servers.len();
+    // Per-part silicon (None for the default uniform fleet): binned
+    // admission levels, hoisted wear rates, deny/down-bin counts.
+    let silicon = resolve_rack_silicon(config, rack.index, n, model);
+    let step_days = config.step.as_days_f64();
+    /// Compact `bin_id` marker for servers whose part admits no overclock.
+    const BIN_DENIED: u32 = u32::MAX;
+    // Per-bin factor tables, keyed by the compact per-server `bin_id`
+    // column: one overclock-delta fn and one turbo ratio per distinct
+    // risk-admitted frequency level. The uniform fleet collapses to a
+    // single level at `plan.max_overclock()` — exactly the pre-binning
+    // hoist, so the degenerate config replays the same floats.
+    let (bin_ids, bin_delta, bin_ratio): (Vec<u32>, Vec<OverclockDeltaFn>, Vec<f64>) =
+        match &silicon {
+            None => (
+                vec![0; n],
+                vec![oc_delta],
+                vec![oc_freq.ratio(plan.turbo())],
+            ),
+            Some(s) => {
+                let mut levels: Vec<MegaHertz> = s.eff.iter().copied().flatten().collect();
+                levels.sort_unstable();
+                levels.dedup();
+                let ids = s
+                    .eff
+                    .iter()
+                    .map(|e| match e {
+                        Some(f) => levels.binary_search(f).map_or(BIN_DENIED, |k| k as u32),
+                        None => BIN_DENIED,
+                    })
+                    .collect();
+                let delta = levels
+                    .iter()
+                    .map(|&f| model.overclock_delta_fn(f))
+                    .collect();
+                let ratio = levels.iter().map(|&f| f.ratio(plan.turbo())).collect();
+                (ids, delta, ratio)
+            }
+        };
     let mut cols = ServerColumns::new(n, weekly_allowance);
     let mut buf = StepBuffers::with_capacity(n);
     // Weekly-periodic prediction/budget memo (None for steps that don't
-    // divide a week; every shipped config divides).
-    let mut tables = SlotTables::build(&trained.servers, train_end, config.step);
+    // divide a week; every shipped config divides, so the per-step fallback
+    // is reachable only through the `disable_slot_memo` kill switch).
+    let mut tables = if config.disable_slot_memo {
+        None
+    } else {
+        SlotTables::build(&trained.servers, train_end, config.step)
+    };
     // Borrowed raw-sample slices, hoisted once per rack: all per-server
     // series share the trace's start (time zero) and step, so one slot index
     // per step addresses every column.
@@ -348,6 +393,19 @@ pub(crate) fn simulate_rack_columnar(
         "servers" => rack.servers.len(),
         "limit_w" => rack.limit.get(),
         "decision_id" => sim_decision);
+    if let Some(s) = &silicon {
+        emit_binning_events(
+            s,
+            telemetry,
+            train_end,
+            rack.index,
+            policy,
+            plan.max_overclock(),
+            sim_decision,
+        );
+        outcome.bin_denied = s.bin_denied;
+        outcome.down_binned = s.down_binned;
+    }
 
     let mut t = train_end;
     while t < trace_end {
@@ -511,7 +569,10 @@ pub(crate) fn simulate_rack_columnar(
         buf.wanted.resize(n, false);
         buf.granted.clear();
         buf.granted.resize(n, false);
-        for (i, (((((((view, want), grant), extra_slot), oc_rem), budget), explore), pred)) in views
+        for (
+            i,
+            ((((((((view, want), grant), extra_slot), oc_rem), budget), explore), pred), bin),
+        ) in views
             .iter()
             .zip(buf.wanted.iter_mut())
             .zip(buf.granted.iter_mut())
@@ -520,10 +581,17 @@ pub(crate) fn simulate_rack_columnar(
             .zip(cols.budget.iter())
             .zip(cols.explore_extra.iter())
             .zip(buf.predicted.iter())
+            .zip(bin_ids.iter())
             .enumerate()
         {
             let demand_cores = view.oc_demand_cores.get(idx).copied().unwrap_or(0.0);
             if demand_cores <= 0.0 {
+                continue;
+            }
+            // Binned silicon: a bin-denied part never issues overclock
+            // requests (its sOA knows the admission rule from its own risk
+            // score); other parts request their risk-admitted level.
+            if *bin == BIN_DENIED {
                 continue;
             }
             // WI telemetry gap (fault injection): the sOA never sees this
@@ -536,7 +604,10 @@ pub(crate) fn simulate_rack_columnar(
             outcome.requests += 1;
             let util = view.utilization.get(idx).copied().unwrap_or(0.5);
             let cores = (demand_cores as usize).min(model.cores());
-            let extra = oc_delta.at(util.clamp(0.0, 1.0), cores);
+            let Some(delta) = bin_delta.get(*bin as usize) else {
+                continue;
+            };
+            let extra = delta.at(util.clamp(0.0, 1.0), cores);
             // Lifetime check (all policies that check anything).
             if admission_checked && *oc_rem < config.step {
                 continue;
@@ -580,15 +651,21 @@ pub(crate) fn simulate_rack_columnar(
         let mut draw = base_total + buf.extras.iter().copied().sum::<Watts>();
         buf.perf.clear();
         buf.perf.resize(n, 0.0); // effective speedup of demand servers
-        let oc_ratio = oc_freq.ratio(plan.turbo());
-        for ((p, want), grant) in buf
+        for (((p, want), grant), bin) in buf
             .perf
             .iter_mut()
             .zip(buf.wanted.iter())
             .zip(buf.granted.iter())
+            .zip(bin_ids.iter())
         {
             if *want {
-                *p = if *grant { oc_ratio } else { 1.0 };
+                // A granted server runs at its bin's risk-admitted level;
+                // the ratio table holds each level's speedup over turbo.
+                *p = if *grant {
+                    bin_ratio.get(*bin as usize).copied().unwrap_or(1.0)
+                } else {
+                    1.0
+                };
             }
         }
         // The monitor classifies the *pre-enforcement* draw: a step whose
@@ -738,6 +815,17 @@ pub(crate) fn simulate_rack_columnar(
                 outcome.perf_samples += 1;
             }
         }
+        // Per-part wear accounting (heterogeneous fleets only): each server
+        // granted this step ages at its hoisted part-scaled rate. Folded
+        // left-to-right in server order, exactly like the reference engine.
+        if let Some(s) = &silicon {
+            for ((grant, view), rate) in buf.granted.iter().zip(views.iter()).zip(s.wear.iter()) {
+                if *grant {
+                    let util = view.utilization.get(idx).copied().unwrap_or(0.5);
+                    outcome.wear_days += rate.at(util) * step_days;
+                }
+            }
+        }
         drop(aggregation_span);
         outcome.steps += 1;
         t += config.step;
@@ -773,6 +861,10 @@ pub(crate) fn simulate_rack_columnar(
         m.inc_counter_by("sim_requests", &policy_label, outcome.requests);
         m.inc_counter_by("sim_grants", &policy_label, outcome.granted);
         m.inc_counter_by("sim_capping_steps", &policy_label, outcome.capping_steps);
+        if silicon.is_some() {
+            m.inc_counter_by("sim_bin_denied", &policy_label, outcome.bin_denied);
+            m.inc_counter_by("sim_down_binned", &policy_label, outcome.down_binned);
+        }
     });
     outcome
 }
@@ -842,6 +934,78 @@ mod tests {
         for policy in [PolicyKind::SmartOClock, PolicyKind::Central] {
             engines_agree(&config, policy);
         }
+    }
+
+    #[test]
+    fn columnar_matches_reference_with_binned_silicon() {
+        let mut config = LargeScaleConfig::small_test();
+        config.binning.bins = 8;
+        config.binning.risk_budget = 0.35;
+        config.binning.wear_spread = 0.4;
+        config.binning.seed = 7;
+        for policy in PolicyKind::ALL {
+            engines_agree(&config, policy);
+        }
+    }
+
+    #[test]
+    fn columnar_matches_reference_with_binning_and_faults() {
+        let mut config = LargeScaleConfig::small_test();
+        config.binning.bins = 4;
+        config.binning.risk_budget = 0.5;
+        config.binning.wear_spread = 0.2;
+        config.binning.seed = 11;
+        config.faults.goa_outages = 1;
+        config.faults.goa_outage_len = SimDuration::from_hours(12);
+        config.faults.budget_drop_prob = 0.05;
+        config.faults.telemetry_gap_prob = 0.02;
+        config.faults.soa_restart_prob = 0.01;
+        for policy in [PolicyKind::SmartOClock, PolicyKind::Central] {
+            engines_agree(&config, policy);
+        }
+    }
+
+    #[test]
+    fn columnar_matches_reference_on_fallback_prediction_path() {
+        // The slot-memo kill switch forces the per-step prediction arms the
+        // engine would use for a step that did not divide the week — with
+        // and without heterogeneous silicon.
+        let mut config = LargeScaleConfig::small_test();
+        config.disable_slot_memo = true;
+        engines_agree(&config, PolicyKind::SmartOClock);
+        config.binning.bins = 8;
+        config.binning.risk_budget = 0.3;
+        config.binning.wear_spread = 0.4;
+        config.binning.seed = 42;
+        engines_agree(&config, PolicyKind::SmartOClock);
+    }
+
+    #[test]
+    fn slot_tables_require_a_week_divisor_step() {
+        // A non-divisor step cannot come out of the public pipeline
+        // (template training asserts the step divides a day, and every
+        // day-divisor divides the week), so the guard is pinned directly.
+        let config = LargeScaleConfig::small_test();
+        let generator = TraceGenerator::new(config.seed);
+        let rack = generator.generate_rack(&config.fleet_config(), 0);
+        let model = generator.model_for(rack.generation);
+        let trained = train_rack(&config, &rack, &model);
+        let start = SimTime::ZERO + SimDuration::WEEK;
+        assert!(
+            SlotTables::build(&trained.servers, start, SimDuration::from_hours(5)).is_none(),
+            "5h does not divide the week; the memo must refuse to build"
+        );
+        assert!(
+            SlotTables::build(&trained.servers, start, SimDuration::ZERO).is_none(),
+            "a zero step must refuse to build, not divide by zero"
+        );
+        // The Some case must use the training step itself (predict_at
+        // debug-asserts slot/template step agreement).
+        let tables = SlotTables::build(&trained.servers, start, config.step)
+            .expect("the 15-minute training step divides the week");
+        let slots = (SimDuration::WEEK.as_micros() / config.step.as_micros()) as usize;
+        assert_eq!(tables.slots, slots);
+        assert_eq!(tables.n, rack.servers.len());
     }
 
     #[test]

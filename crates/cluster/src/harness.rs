@@ -27,6 +27,7 @@ use soc_power::hierarchy::{heterogeneous_split, DemandProfile};
 use soc_power::model::PowerModel;
 use soc_power::rack::{prioritized_shed, CapCandidate, RackMonitor, RackSignal};
 use soc_power::units::{MegaHertz, Watts};
+use soc_reliability::binning::BinningConfig;
 use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_workloads::loadgen::RateSchedule;
 use soc_workloads::microservice::MicroserviceSim;
@@ -119,6 +120,11 @@ pub struct ClusterConfig {
     /// Control-plane fault schedule (default: no faults).
     #[serde(default)]
     pub faults: FaultPlanConfig,
+    /// Per-part silicon heterogeneity (default: uniform fleet). Each
+    /// overclockable server draws its part from the shared seed; its sOA
+    /// enforces the drawn bin and `risk_budget` at admission.
+    #[serde(default)]
+    pub binning: BinningConfig,
 }
 
 impl ClusterConfig {
@@ -137,6 +143,7 @@ impl ClusterConfig {
             boot_delay: SimDuration::from_secs(90),
             seed: 42,
             faults: FaultPlanConfig::none(),
+            binning: BinningConfig::uniform(),
         }
     }
 
@@ -155,6 +162,7 @@ impl ClusterConfig {
             boot_delay: SimDuration::from_secs(30),
             seed: 42,
             faults: FaultPlanConfig::none(),
+            binning: BinningConfig::uniform(),
         }
     }
 }
@@ -355,11 +363,20 @@ impl ClusterSim {
         };
 
         let oc_server_count = config.socialnet_servers + config.spare_servers;
+        config.binning.validate();
+        let mut soa_config = SoaConfig::reference();
+        soa_config.risk_budget = config.binning.risk_budget;
         let mut soas: Vec<ServerOverclockAgent> = (0..oc_server_count)
-            .map(|_| {
-                let mut soa = ServerOverclockAgent::new(model, SoaConfig::reference(), policy_kind);
+            .map(|s| {
+                let mut soa = ServerOverclockAgent::new(model, soa_config, policy_kind);
                 if config.oc_budget_scale < 1.0 {
                     soa.scale_lifetime_budget(config.oc_budget_scale);
+                }
+                // Silicon lottery: each overclockable server realizes its
+                // part from the shared seed. Uniform fleets skip this so the
+                // agents stay byte-identical to a pre-binning build.
+                if !config.binning.is_uniform() {
+                    soa.set_silicon(config.binning.part(&plan, FaultPlan::entity_id(0, s)));
                 }
                 soa
             })
@@ -1505,5 +1522,47 @@ mod tests {
         cfg.faults.seed = 999; // seed is irrelevant when nothing can fire
         let noop = ClusterSim::new(cfg).run();
         assert_eq!(clean, noop);
+    }
+
+    #[test]
+    fn uniform_binning_config_matches_default_run() {
+        let clean = run_small(SystemKind::SmartOClock);
+        let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
+        cfg.binning.seed = 777; // irrelevant: a single-bin fleet draws nothing
+        cfg.binning.risk_budget = 0.4; // irrelevant: uniform parts have risk 0
+        let uniform = ClusterSim::new(cfg).run();
+        assert_eq!(clean, uniform);
+    }
+
+    #[test]
+    fn aggressive_binning_denies_all_overclocking() {
+        // Eight bins under a zero risk budget: every part has nonzero risk,
+        // so every overclock request is bin-denied at admission.
+        let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
+        cfg.binning.bins = 8;
+        cfg.binning.risk_budget = 0.0;
+        cfg.binning.seed = 5;
+        let r = ClusterSim::new(cfg.clone()).run();
+        assert!(r.oc_requests.1 > 0, "requests must still be issued");
+        assert_eq!(r.oc_requests.0, 0, "zero budget must deny every part");
+        let again = ClusterSim::new(cfg).run();
+        assert_eq!(r, again, "binned runs stay deterministic");
+    }
+
+    #[test]
+    fn binned_fleet_grants_fewer_requests_than_uniform() {
+        let clean = run_small(SystemKind::SmartOClock);
+        let mut cfg = ClusterConfig::small_test(SystemKind::SmartOClock);
+        cfg.binning.bins = 8;
+        cfg.binning.risk_budget = 0.25;
+        cfg.binning.wear_spread = 0.3;
+        cfg.binning.seed = 5;
+        let binned = ClusterSim::new(cfg).run();
+        assert!(
+            binned.oc_requests.0 <= clean.oc_requests.0,
+            "a binned fleet ({} grants) cannot out-grant a uniform one ({})",
+            binned.oc_requests.0,
+            clean.oc_requests.0
+        );
     }
 }

@@ -25,8 +25,11 @@ use smartoclock::policy::PolicyKind;
 use soc_power::hierarchy::DemandProfile;
 use soc_power::model::PowerModel;
 use soc_power::rack::RackMonitor;
-use soc_power::units::Watts;
+use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::{PowerTemplate, TemplateKind};
+use soc_reliability::binning::{BinningConfig, SiliconPart, WearRate};
+use soc_reliability::thermal::Cooling;
+use soc_reliability::wear::WearModel;
 use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use soc_traces::fleet::RackTrace;
 use soc_traces::gen::FleetConfig;
@@ -65,6 +68,20 @@ pub struct LargeScaleConfig {
     /// `false` = fail-stop (deny all overclocking — forfeits OC uptime).
     #[serde(default)]
     pub central_fail_open: bool,
+    /// Per-part silicon heterogeneity (default: uniform fleet). Realized
+    /// per-server from the shared seed (stateless draws), so bin identities
+    /// compose with sharded execution exactly like the fault timelines.
+    #[serde(default)]
+    pub binning: BinningConfig,
+    /// Kill switch for the columnar engine's weekly slot memoization: when
+    /// set, every step predicts through the per-step fallback path instead
+    /// of the precomputed slot tables. Results are equivalence-pinned to be
+    /// identical either way — this only trades speed for a simpler code
+    /// path, so it exists for debugging and for exercising the fallback
+    /// (which is otherwise unreachable: template training requires a step
+    /// that divides a day, and every day-divisor also divides the week).
+    #[serde(default)]
+    pub disable_slot_memo: bool,
 }
 
 impl LargeScaleConfig {
@@ -81,6 +98,8 @@ impl LargeScaleConfig {
             seed: 42,
             faults: FaultPlanConfig::none(),
             central_fail_open: false,
+            binning: BinningConfig::uniform(),
+            disable_slot_memo: false,
         }
     }
 
@@ -97,6 +116,8 @@ impl LargeScaleConfig {
             seed: 42,
             faults: FaultPlanConfig::none(),
             central_fail_open: false,
+            binning: BinningConfig::uniform(),
+            disable_slot_memo: false,
         }
     }
 
@@ -196,6 +217,120 @@ pub fn train_rack(config: &LargeScaleConfig, rack: &RackTrace, model: &PowerMode
         })
         .collect();
     TrainedRack { servers }
+}
+
+/// Resolved per-part silicon for one rack run: admitted overclock levels,
+/// hoisted wear-rate coefficients, and the deny/down-bin counts.
+///
+/// Both engines call [`resolve_rack_silicon`] with identical arguments, so
+/// every float in here is computed exactly once per rack and shared — the
+/// byte-determinism contract extends to heterogeneous fleets by
+/// construction. `None` (uniform config) keeps both engines on their
+/// pre-binning paths, byte-for-byte.
+pub(crate) struct RackSilicon {
+    /// Drawn silicon per server, in rack order.
+    pub parts: Vec<SiliconPart>,
+    /// Risk-admitted overclock frequency per server; `None` = the part's
+    /// risk exceeds the budget at every overclocked level (bin-denied).
+    pub eff: Vec<Option<MegaHertz>>,
+    /// Hoisted ageing-rate coefficients per server at its admitted level
+    /// (placeholder at turbo for denied servers, which never accrue wear).
+    pub wear: Vec<WearRate>,
+    /// Servers denied all overclocking by the risk budget.
+    pub bin_denied: u64,
+    /// Servers admitted below the plan's maximum overclock.
+    pub down_binned: u64,
+}
+
+/// Draw and risk-admit every server's silicon for one rack, hoisting the
+/// per-part wear rates the step loop charges. Returns `None` for the
+/// degenerate uniform config (no heterogeneity, no extra work, no new
+/// telemetry — the pre-binning byte streams are preserved exactly).
+///
+/// Part ids reuse [`FaultPlan::entity_id`], so a server's silicon is the
+/// same under sharded and serial execution and across engines. The wear
+/// hoist runs each part's scaled [`WearModel`] at the air-cooled
+/// steady-state junction temperature of a fully-utilized server at the
+/// admitted frequency.
+pub(crate) fn resolve_rack_silicon(
+    config: &LargeScaleConfig,
+    rack_index: usize,
+    servers: usize,
+    model: &PowerModel,
+) -> Option<RackSilicon> {
+    if config.binning.is_uniform() {
+        return None;
+    }
+    let plan = model.plan();
+    let base_wear = WearModel::reference(*model.curve());
+    let cooling = Cooling::Air;
+    let mut silicon = RackSilicon {
+        parts: Vec::with_capacity(servers),
+        eff: Vec::with_capacity(servers),
+        wear: Vec::with_capacity(servers),
+        bin_denied: 0,
+        down_binned: 0,
+    };
+    for i in 0..servers {
+        let part = config
+            .binning
+            .part(&plan, FaultPlan::entity_id(rack_index, i));
+        let eff = part.admit(&plan, config.binning.risk_budget, plan.max_overclock());
+        match eff {
+            None => silicon.bin_denied += 1,
+            Some(f) if f < plan.max_overclock() => silicon.down_binned += 1,
+            Some(_) => {}
+        }
+        let freq = eff.unwrap_or(plan.turbo());
+        let oc_power = model.server_power_uniform(1.0, freq);
+        let temp_c = cooling.ambient_c() + cooling.thermal_resistance() * oc_power.get();
+        silicon
+            .wear
+            .push(WearRate::hoist(&base_wear, &part, freq, temp_c));
+        silicon.parts.push(part);
+        silicon.eff.push(eff);
+    }
+    Some(silicon)
+}
+
+/// Emit the `bin_deny` / `down_bin` admission telemetry for one rack's
+/// resolved silicon, in server order — shared verbatim by both engines so
+/// heterogeneous event streams stay byte-identical.
+pub(crate) fn emit_binning_events(
+    silicon: &RackSilicon,
+    telemetry: &Telemetry,
+    at: SimTime,
+    rack_index: usize,
+    policy: PolicyKind,
+    max_overclock: MegaHertz,
+    sim_decision: u64,
+) {
+    for (i, (part, eff)) in silicon.parts.iter().zip(silicon.eff.iter()).enumerate() {
+        match eff {
+            None => {
+                tm_event!(telemetry, at, Component::Sim, Severity::Warn, "bin_deny",
+                    "rack" => rack_index,
+                    "server" => i,
+                    "policy" => policy.name(),
+                    "bin" => part.bin,
+                    "risk" => part.risk,
+                    "decision_id" => telemetry.next_id(),
+                    "cause_id" => sim_decision);
+            }
+            Some(f) if *f < max_overclock => {
+                tm_event!(telemetry, at, Component::Sim, Severity::Info, "down_bin",
+                    "rack" => rack_index,
+                    "server" => i,
+                    "policy" => policy.name(),
+                    "bin" => part.bin,
+                    "risk" => part.risk,
+                    "to_mhz" => f.get(),
+                    "decision_id" => telemetry.next_id(),
+                    "cause_id" => sim_decision);
+            }
+            Some(_) => {}
+        }
+    }
 }
 
 /// Simulate one policy over a freshly generated fleet; returns per-rack
@@ -309,6 +444,10 @@ pub fn simulate_rack_reference(
     // function of the plan config, so every shard realizes the same
     // timeline regardless of execution order.
     let faults = FaultPlan::generate(&config.faults, train_end, trace_end);
+    // Per-part silicon (None for the default uniform fleet): binned
+    // admission levels, hoisted wear rates, and deny/down-bin counts.
+    let silicon = resolve_rack_silicon(config, rack.index, rack.servers.len(), model);
+    let step_days = config.step.as_days_f64();
     let weekly_allowance = SimDuration::WEEK.mul_f64(config.oc_time_fraction);
     let mut servers: Vec<ServerState> = trained
         .servers
@@ -341,6 +480,19 @@ pub fn simulate_rack_reference(
         "servers" => rack.servers.len(),
         "limit_w" => rack.limit.get(),
         "decision_id" => sim_decision);
+    if let Some(s) = &silicon {
+        emit_binning_events(
+            s,
+            telemetry,
+            train_end,
+            rack.index,
+            policy,
+            plan.max_overclock(),
+            sim_decision,
+        );
+        outcome.bin_denied = s.bin_denied;
+        outcome.down_binned = s.down_binned;
+    }
 
     let mut t = train_end;
     while t < trace_end {
@@ -457,6 +609,16 @@ pub fn simulate_rack_reference(
             if demand_cores <= 0.0 {
                 continue;
             }
+            // Binned silicon: a bin-denied part never issues overclock
+            // requests (its sOA knows the admission rule from its own risk
+            // score); other parts request their risk-admitted level.
+            let eff_freq = match &silicon {
+                Some(s) => match s.eff.get(i).copied().flatten() {
+                    Some(f) => f,
+                    None => continue,
+                },
+                None => oc_freq,
+            };
             // WI telemetry gap (fault injection): the sOA never sees this
             // window's demand, so no request is even issued.
             if faults.telemetry_gap(t, FaultPlan::entity_id(rack.index, i)) {
@@ -467,7 +629,7 @@ pub fn simulate_rack_reference(
             outcome.requests += 1;
             let util = trace.utilization.value_at(t).unwrap_or(0.5);
             let cores = (demand_cores as usize).min(model.cores());
-            let extra = model.overclock_delta(util.clamp(0.0, 1.0), cores, oc_freq);
+            let extra = model.overclock_delta(util.clamp(0.0, 1.0), cores, eff_freq);
             // Lifetime check (all policies that check anything).
             if policy.admission_checked() && servers[i].oc_remaining < config.step {
                 continue;
@@ -512,7 +674,23 @@ pub fn simulate_rack_reference(
         let oc_ratio = oc_freq.ratio(plan.turbo());
         for i in 0..n {
             if wanted[i] {
-                perf[i] = if granted[i] { oc_ratio } else { 1.0 };
+                perf[i] = if granted[i] {
+                    // Binned parts run at their risk-admitted level, so the
+                    // speedup is that level's ratio over turbo (a pure
+                    // division on hoisted operands — bit-identical to the
+                    // columnar engine's per-bin ratio table).
+                    match &silicon {
+                        Some(s) => s
+                            .eff
+                            .get(i)
+                            .copied()
+                            .flatten()
+                            .map_or(1.0, |f| f.ratio(plan.turbo())),
+                        None => oc_ratio,
+                    }
+                } else {
+                    1.0
+                };
             }
         }
         // The monitor classifies the *pre-enforcement* draw: a step whose
@@ -642,6 +820,17 @@ pub fn simulate_rack_reference(
                 outcome.perf_samples += 1;
             }
         }
+        // Per-part wear accounting (heterogeneous fleets only): each server
+        // granted this step ages at its hoisted part-scaled rate. Folded
+        // left-to-right in server order, exactly like the columnar engine.
+        if let Some(s) = &silicon {
+            for ((was_granted, trace), rate) in granted.iter().zip(&rack.servers).zip(&s.wear) {
+                if *was_granted {
+                    let util = trace.utilization.value_at(t).unwrap_or(0.5);
+                    outcome.wear_days += rate.at(util) * step_days;
+                }
+            }
+        }
         outcome.steps += 1;
         t += config.step;
     }
@@ -675,6 +864,10 @@ pub fn simulate_rack_reference(
         m.inc_counter_by("sim_requests", &policy_label, outcome.requests);
         m.inc_counter_by("sim_grants", &policy_label, outcome.granted);
         m.inc_counter_by("sim_capping_steps", &policy_label, outcome.capping_steps);
+        if silicon.is_some() {
+            m.inc_counter_by("sim_bin_denied", &policy_label, outcome.bin_denied);
+            m.inc_counter_by("sim_down_binned", &policy_label, outcome.down_binned);
+        }
     });
     outcome
 }
@@ -780,6 +973,40 @@ mod tests {
         cfg.faults.seed = 999;
         let with_plan = simulate_policy(&cfg, PolicyKind::SmartOClock);
         assert_eq!(base, with_plan);
+    }
+
+    #[test]
+    fn uniform_binning_config_matches_default_run() {
+        let base = simulate_policy(&LargeScaleConfig::small_test(), PolicyKind::SmartOClock);
+        // A uniform (single-bin, zero-spread) binning config is
+        // byte-transparent no matter its seed or risk budget: the lottery
+        // is degenerate, so outcomes are identical to the pre-binning run.
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.binning.seed = 999;
+        cfg.binning.risk_budget = 0.25;
+        let with_binning = simulate_policy(&cfg, PolicyKind::SmartOClock);
+        assert_eq!(base, with_binning);
+    }
+
+    #[test]
+    fn binned_fleet_reports_denials_and_wear() {
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.binning.bins = 8;
+        cfg.binning.risk_budget = 0.2;
+        cfg.binning.wear_spread = 0.3;
+        cfg.binning.seed = 5;
+        let outcomes = simulate_policy(&cfg, PolicyKind::SmartOClock);
+        let denied: u64 = outcomes.iter().map(|o| o.bin_denied).sum();
+        let down: u64 = outcomes.iter().map(|o| o.down_binned).sum();
+        assert!(
+            denied + down > 0,
+            "aggressive binning must deny or down-bin some parts"
+        );
+        let wear: f64 = outcomes.iter().map(|o| o.wear_days).sum();
+        assert!(wear > 0.0, "granted overclocking must accrue per-part wear");
+        let m = PolicyMetrics::aggregate(PolicyKind::SmartOClock, &outcomes);
+        assert_eq!(m.bin_denied, denied);
+        assert_eq!(m.down_binned, down);
     }
 
     #[test]

@@ -48,6 +48,20 @@ pub struct RackOutcome {
     /// The contracted rack power limit; zero until the sim sets it.
     #[serde(default)]
     pub limit: Watts,
+    /// Servers whose binned silicon was denied all overclocking by the
+    /// configured risk budget (counted once per rack run; zero for the
+    /// uniform fleet).
+    #[serde(default)]
+    pub bin_denied: u64,
+    /// Servers risk-admitted below the plan's maximum overclock
+    /// (down-binned; counted once per rack run).
+    #[serde(default)]
+    pub down_binned: u64,
+    /// Accumulated per-part overclock ageing across the rack's servers, in
+    /// days of lifetime (zero for the uniform fleet, where wear accounting
+    /// is not attributed per part).
+    #[serde(default)]
+    pub wear_days: f64,
 }
 
 impl RackOutcome {
@@ -70,6 +84,9 @@ impl RackOutcome {
             restarts: 0,
             max_draw: Watts::ZERO,
             limit: Watts::ZERO,
+            bin_denied: 0,
+            down_binned: 0,
+            wear_days: 0.0,
         }
     }
 
@@ -124,6 +141,15 @@ pub struct PolicyMetrics {
     /// Total injected sOA restarts.
     #[serde(default)]
     pub restarts: u64,
+    /// Total servers denied all overclocking by per-part risk binning.
+    #[serde(default)]
+    pub bin_denied: u64,
+    /// Total servers risk-admitted below the maximum overclock.
+    #[serde(default)]
+    pub down_binned: u64,
+    /// Total per-part overclock ageing across the fleet, in days.
+    #[serde(default)]
+    pub wear_days: f64,
 }
 
 impl PolicyMetrics {
@@ -161,6 +187,9 @@ impl PolicyMetrics {
             violation_steps: outcomes.iter().map(|o| o.violation_steps).sum(),
             stale_budget_steps: outcomes.iter().map(|o| o.stale_budget_steps).sum(),
             restarts: outcomes.iter().map(|o| o.restarts).sum(),
+            bin_denied: outcomes.iter().map(|o| o.bin_denied).sum(),
+            down_binned: outcomes.iter().map(|o| o.down_binned).sum(),
+            wear_days: outcomes.iter().map(|o| o.wear_days).sum(),
         }
     }
 }

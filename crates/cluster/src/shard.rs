@@ -113,13 +113,14 @@ pub fn simulate_policy_sharded_probed(
     )
 }
 
-/// Weeks/racks validation shared by every large-scale entry point.
+/// Weeks/racks/binning validation shared by every large-scale entry point.
 fn validate(config: &LargeScaleConfig) {
     assert!(
         config.weeks >= 2,
         "need at least one training and one evaluation week"
     );
     assert!(config.racks > 0, "need at least one rack");
+    config.binning.validate();
 }
 
 /// The deterministic fan-out/merge skeleton shared by every sharded

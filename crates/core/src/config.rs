@@ -47,10 +47,22 @@ pub struct SoaConfig {
     /// three missed 2-minute refresh cycles.
     #[serde(default = "default_budget_staleness_limit")]
     pub budget_staleness_limit: SimDuration,
+    /// Per-part admission risk budget in `[0, 1]`: with binned silicon
+    /// (`ServerOverclockAgent::set_silicon`) a request is admitted only
+    /// while the part's risk score × its normalized overclock fraction
+    /// stays at or below this budget; otherwise it is down-binned or
+    /// denied. Default 1.0 — admit everything the part's bin certifies
+    /// (and a no-op for uniform silicon, whose risk is zero).
+    #[serde(default = "default_risk_budget")]
+    pub risk_budget: f64,
 }
 
 fn default_budget_staleness_limit() -> SimDuration {
     SimDuration::from_minutes(6)
+}
+
+fn default_risk_budget() -> f64 {
+    1.0
 }
 
 impl SoaConfig {
@@ -69,6 +81,7 @@ impl SoaConfig {
             exhaustion_window: SimDuration::from_minutes(15),
             explore_cap: Watts::new(200.0),
             budget_staleness_limit: default_budget_staleness_limit(),
+            risk_budget: default_risk_budget(),
         }
     }
 
@@ -116,6 +129,10 @@ impl SoaConfig {
             !self.budget_staleness_limit.is_zero(),
             "budget staleness limit must be non-zero"
         );
+        assert!(
+            self.risk_budget.is_finite() && (0.0..=1.0).contains(&self.risk_budget),
+            "risk budget must be in [0, 1]"
+        );
     }
 }
 
@@ -139,6 +156,15 @@ mod tests {
         assert_eq!(c.epoch, SimDuration::WEEK);
         assert_eq!(c.budget_staleness_limit, SimDuration::from_minutes(6));
         assert!((c.overclock_time_fraction - 0.10).abs() < 1e-12);
+        assert!((c.risk_budget - 1.0).abs() < 1e-12);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "risk budget must be in [0, 1]")]
+    fn validate_rejects_bad_risk_budget() {
+        let mut c = SoaConfig::reference();
+        c.risk_budget = 1.5;
         c.validate();
     }
 

@@ -97,6 +97,9 @@ pub enum RejectReason {
     LifetimeBudget,
     /// Not enough cores with remaining per-core time-in-state budget.
     CoreBudget,
+    /// This part's silicon risk score exceeds the configured risk budget at
+    /// every overclocked frequency level (frequency binning, §VI).
+    RiskBudget,
     /// The request itself is malformed (zero cores, frequency not above
     /// turbo, …).
     Invalid,
@@ -108,6 +111,7 @@ impl fmt::Display for RejectReason {
             RejectReason::PowerBudget => "insufficient power budget",
             RejectReason::LifetimeBudget => "overclocking lifetime budget exhausted",
             RejectReason::CoreBudget => "no cores with remaining overclock budget",
+            RejectReason::RiskBudget => "per-part risk budget exceeded",
             RejectReason::Invalid => "invalid request",
         };
         f.write_str(s)

@@ -31,8 +31,10 @@ use soc_power::model::PowerModel;
 use soc_power::rack::RackSignal;
 use soc_power::units::{MegaHertz, Watts};
 use soc_predict::template::PowerTemplate;
+use soc_reliability::binning::{part_wear_model, SiliconPart};
 use soc_reliability::budget::OverclockBudget;
 use soc_reliability::tracker::TimeInState;
+use soc_reliability::wear::{AgeingLedger, WearModel};
 use soc_telemetry::{tm_event, Component, Severity, Telemetry};
 use std::collections::BTreeMap;
 
@@ -42,6 +44,7 @@ fn reject_label(reason: RejectReason) -> &'static str {
         RejectReason::PowerBudget => "power_budget",
         RejectReason::LifetimeBudget => "lifetime_budget",
         RejectReason::CoreBudget => "core_budget",
+        RejectReason::RiskBudget => "risk_budget",
         RejectReason::Invalid => "invalid",
     }
 }
@@ -150,6 +153,16 @@ pub struct ServerOverclockAgent {
     power_rejected: bool,
     last_power_warning_eta: Option<SimTime>,
     last_lifetime_warning_eta: Option<SimTime>,
+    /// This server's realized silicon part, when the fleet models per-part
+    /// heterogeneity ([`Self::set_silicon`]). `None` means uniform silicon:
+    /// the admission risk gate is bypassed entirely.
+    silicon: Option<SiliconPart>,
+    /// Part-scaled wear model, rebuilt whenever silicon is (re)assigned.
+    wear_model: Option<WearModel>,
+    /// Durable physical-wear ledger: overclocked intervals charged at the
+    /// part-scaled ageing rate. Like the lifetime ledger, it models wear
+    /// already incurred and therefore survives [`Self::restart`].
+    wear: AgeingLedger,
     stats: SoaStats,
     telemetry: Telemetry,
     server_id: usize,
@@ -190,6 +203,9 @@ impl ServerOverclockAgent {
             power_rejected: false,
             last_power_warning_eta: None,
             last_lifetime_warning_eta: None,
+            silicon: None,
+            wear_model: None,
+            wear: AgeingLedger::new(),
             stats: SoaStats::default(),
             telemetry: Telemetry::disabled(),
             server_id: 0,
@@ -274,6 +290,34 @@ impl ServerOverclockAgent {
     /// Install the server's regular-power template (rebuilt weekly, §IV-B).
     pub fn set_power_template(&mut self, template: PowerTemplate) {
         self.template = Some(template);
+    }
+
+    /// Assign this server's realized silicon part (frequency binning).
+    ///
+    /// Enables the per-part admission risk gate: requests above the part's
+    /// binned maximum or whose risk-weighted overclock fraction exceeds
+    /// `SoaConfig::risk_budget` are down-binned to the highest certified
+    /// frequency, or denied with [`RejectReason::RiskBudget`] when no
+    /// overclocked level fits. Also rebuilds the part-scaled wear model that
+    /// charges the durable ageing ledger. A [`SiliconPart::uniform`] part is
+    /// transparent (risk zero, full frequency range).
+    pub fn set_silicon(&mut self, part: SiliconPart) {
+        self.wear_model = Some(part_wear_model(
+            &WearModel::reference(*self.model.curve()),
+            &part,
+        ));
+        self.silicon = Some(part);
+    }
+
+    /// The assigned silicon part, if heterogeneity is modelled.
+    pub fn silicon(&self) -> Option<&SiliconPart> {
+        self.silicon.as_ref()
+    }
+
+    /// The durable physical-wear ledger (overclocked intervals charged at
+    /// the part-scaled ageing rate; only advances while silicon is set).
+    pub fn wear_ledger(&self) -> &AgeingLedger {
+        &self.wear
     }
 
     /// Scale the lifetime budget (overclocking-constrained experiments).
@@ -383,7 +427,11 @@ impl ServerOverclockAgent {
         self.last_admission_decision
     }
 
-    fn admit(&mut self, now: SimTime, request: OverclockRequest) -> Result<GrantId, RejectReason> {
+    fn admit(
+        &mut self,
+        now: SimTime,
+        mut request: OverclockRequest,
+    ) -> Result<GrantId, RejectReason> {
         self.stats.requests += 1;
         self.roll_epoch(now);
         // Structural validation applies to every policy.
@@ -393,6 +441,32 @@ impl ServerOverclockAgent {
             || !(0.0..=1.0).contains(&request.expected_utilization)
         {
             return Err(RejectReason::Invalid);
+        }
+        // Per-part risk gate (frequency binning). A physical property of the
+        // silicon, so it applies to every policy: marginal parts cannot run
+        // stably above their binned maximum no matter how naive the control
+        // plane is.
+        if let Some(part) = &self.silicon {
+            match part.admit(&self.model.plan(), self.config.risk_budget, request.target) {
+                Some(f) => {
+                    if f < request.target {
+                        tm_event!(self.telemetry, now, Component::Soa, Severity::Info, "down_bin",
+                            "server" => self.server_id,
+                            "vm" => request.vm.as_str(),
+                            "bin" => part.bin,
+                            "risk" => part.risk,
+                            "from_mhz" => request.target.get(),
+                            "to_mhz" => f.get(),
+                            "decision_id" => self.telemetry.next_id(),
+                            "cause_id" => request.cause);
+                        self.telemetry.metrics(|m| {
+                            m.inc_counter("soa_down_bins", &[("server", self.server_id.into())]);
+                        });
+                        request.target = f;
+                    }
+                }
+                None => return Err(RejectReason::RiskBudget),
+            }
         }
         let checked = self.policy.admission_checked();
         // Lifetime budget.
@@ -627,6 +701,23 @@ impl ServerOverclockAgent {
                 self.tracker.record(core, dt);
             }
         }
+        // Physical wear: charge the interval at the part-scaled ageing rate
+        // of the hottest active operating point (temperature held at the
+        // model reference — the sOA has no thermal sensor in this model).
+        if let Some(wm) = &self.wear_model {
+            if let Some(g) = active
+                .iter()
+                .map(|id| &self.grants[id])
+                .max_by_key(|g| g.current)
+            {
+                let rate = wm.ageing_rate(
+                    g.request.expected_utilization.clamp(0.0, 1.0),
+                    g.current,
+                    wm.reference_temp_c(),
+                );
+                self.wear.record(rate, dt);
+            }
+        }
         // Server-level budget: the wall-clock interval counts once.
         let scheduled_active = active.iter().any(|id| self.grants[id].ends_at.is_some());
         let consumed = if scheduled_active {
@@ -832,11 +923,13 @@ impl ServerOverclockAgent {
     /// power template is forgotten, and the assigned budget drops to zero so
     /// no overclocking is admitted until the gOA assigns a fresh budget.
     ///
-    /// Durable state survives: the lifetime ledger and per-core
-    /// time-in-state counters model physical wear already incurred (the
-    /// paper's reliability accounting is persisted platform-side), and the
-    /// cumulative stats are measurement, not control state. Grant ids keep
-    /// counting up so post-restart grants never collide with revoked ones.
+    /// Durable state survives: the lifetime ledger, per-core time-in-state
+    /// counters, the assigned silicon part identity, and the ageing ledger
+    /// all model physical facts about the hardware rather than control
+    /// state (the paper's reliability accounting is persisted
+    /// platform-side), and the cumulative stats are measurement, not
+    /// control state. Grant ids keep counting up so post-restart grants
+    /// never collide with revoked ones.
     ///
     /// Returns the revocation events the platform must apply, exactly like
     /// [`Self::control_tick`].
@@ -1461,6 +1554,125 @@ mod tests {
         for &c in &migrated.cores {
             assert!(a.tracker.has_budget(c, SimDuration::from_minutes(5)));
         }
+    }
+
+    fn binned_agent(risk_budget: f64, part: SiliconPart) -> ServerOverclockAgent {
+        let mut cfg = SoaConfig::reference();
+        cfg.risk_budget = risk_budget;
+        let mut a =
+            ServerOverclockAgent::new(PowerModel::reference_server(), cfg, PolicyKind::SmartOClock);
+        a.set_power_budget(Watts::new(450.0));
+        a.set_silicon(part);
+        a
+    }
+
+    fn marginal_part(max_oc: MegaHertz, risk: f64) -> SiliconPart {
+        SiliconPart {
+            bin: 3,
+            max_oc,
+            voltage_wear_mult: 1.4,
+            temp_wear_mult: 1.2,
+            risk,
+        }
+    }
+
+    #[test]
+    fn uniform_silicon_is_transparent_even_under_zero_risk_budget() {
+        let plan = PowerModel::reference_server().plan();
+        let mut a = binned_agent(0.0, SiliconPart::uniform(&plan));
+        a.set_power_template(flat_template(Watts::new(250.0)));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        assert_eq!(a.grant(id).unwrap().request.target, MegaHertz::new(4000));
+    }
+
+    #[test]
+    fn risk_gate_down_bins_to_certified_level() {
+        // risk 1.0 under a 0.5 budget: the highest ladder level whose
+        // overclock fraction stays ≤ 0.5 of the 3300→4000 span is 3600 MHz.
+        let plan = PowerModel::reference_server().plan();
+        let part = marginal_part(plan.max_overclock(), 1.0);
+        let mut a = binned_agent(0.5, part);
+        a.set_power_template(flat_template(Watts::new(250.0)));
+        let id = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        assert_eq!(a.grant(id).unwrap().request.target, MegaHertz::new(3600));
+    }
+
+    #[test]
+    fn risk_gate_denies_marginal_part_under_tight_budget() {
+        let plan = PowerModel::reference_server().plan();
+        let part = marginal_part(plan.max_overclock(), 0.8);
+        let mut a = binned_agent(0.0, part);
+        a.set_power_template(flat_template(Watts::new(250.0)));
+        let err = a
+            .request_overclock(SimTime::ZERO, oc_request(8))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::RiskBudget);
+        assert_eq!(a.grants().count(), 0);
+    }
+
+    #[test]
+    fn risk_gate_applies_to_naive_policy_too() {
+        // Binning is a physical property of the part, not a policy choice.
+        let plan = PowerModel::reference_server().plan();
+        let mut cfg = SoaConfig::reference();
+        cfg.risk_budget = 0.0;
+        let mut a =
+            ServerOverclockAgent::new(PowerModel::reference_server(), cfg, PolicyKind::NaiveOClock);
+        a.set_power_budget(Watts::new(450.0));
+        a.set_silicon(marginal_part(plan.max_overclock(), 0.8));
+        let err = a
+            .request_overclock(SimTime::ZERO, oc_request(8))
+            .unwrap_err();
+        assert_eq!(err, RejectReason::RiskBudget);
+    }
+
+    #[test]
+    fn restart_preserves_silicon_identity_and_wear_ledger() {
+        let plan = PowerModel::reference_server().plan();
+        let part = marginal_part(plan.max_overclock(), 0.3);
+        let mut a = binned_agent(1.0, part);
+        a.set_power_template(flat_template(Watts::new(200.0)));
+        let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+        // Ramp above turbo and let accounting charge the ageing ledger.
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_minutes(1);
+            let _ = a.control_tick(t, Watts::new(250.0), None);
+        }
+        let worn = a.wear_ledger().actual_days();
+        assert!(worn > 0.0, "overclocked intervals must accrue wear");
+        let _ = a.restart(t);
+        assert_eq!(a.silicon(), Some(&part), "bin identity is durable");
+        assert_eq!(
+            a.wear_ledger().actual_days(),
+            worn,
+            "the wear ledger survives a restart"
+        );
+        // The risk gate still enforces after the restart.
+        a.set_power_budget(Watts::new(450.0));
+        assert!(a.request_overclock(t, oc_request(8)).is_ok());
+    }
+
+    #[test]
+    fn wear_accrues_faster_on_marginal_silicon() {
+        let plan = PowerModel::reference_server().plan();
+        let run = |part: SiliconPart| {
+            let mut a = binned_agent(1.0, part);
+            a.set_power_template(flat_template(Watts::new(200.0)));
+            let _ = a.request_overclock(SimTime::ZERO, oc_request(8)).unwrap();
+            let mut t = SimTime::ZERO;
+            for _ in 0..10 {
+                t += SimDuration::from_minutes(1);
+                let _ = a.control_tick(t, Watts::new(250.0), None);
+            }
+            a.wear_ledger().actual_days()
+        };
+        let pristine = run(SiliconPart::uniform(&plan));
+        let marginal = run(marginal_part(plan.max_overclock(), 0.3));
+        assert!(
+            marginal > pristine,
+            "higher wear multipliers must age faster: {marginal} vs {pristine}"
+        );
     }
 
     #[test]

@@ -195,7 +195,7 @@ pub(crate) fn is_crate_use(toks: &[Token], i: usize) -> bool {
 /// scaling factor, exponent) where a bare float is the correct type.
 const DIMENSIONLESS_MARKERS: &[&str] = &[
     "ratio", "frac", "scale", "factor", "coeff", "slope", "alpha", "exponent", "pct", "percent",
-    "share", "weight", "norm", "prob", "util", "penalty",
+    "share", "weight", "norm", "prob", "util", "penalty", "risk",
 ];
 
 fn is_dimensionless(name: &str) -> bool {
@@ -568,8 +568,10 @@ mod tests {
         // Newtyped versions are clean.
         assert!(sim("fn set_budget(budget: Watts) {}").is_empty());
         assert!(sim("fn cap(freq: MegaHertz) {}").is_empty());
-        // Dimensionless names are clean even as f64.
+        // Dimensionless names are clean even as f64: a risk budget is a
+        // probability mass, not watts, despite the `_budget` suffix.
         assert!(sim("fn scale(power_scale_factor: f64, util: f64) {}").is_empty());
+        assert!(sim("fn admit(risk_budget: f64) {}").is_empty());
         // Aggregates are out of scope.
         assert!(sim("fn series(power_samples: Vec<f64>) {}").is_empty());
     }

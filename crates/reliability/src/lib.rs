@@ -12,6 +12,10 @@
 //!   credits without exceeding expected ageing. Includes the
 //!   [`wear::AgeingLedger`] that tracks actual-vs-expected
 //!   ageing and the lifetime credits under-utilization accrues.
+//! * [`binning`] — seeded per-part silicon heterogeneity (§III-Q2, §VI):
+//!   deterministic frequency-bin draws, per-part maximum stable overclock,
+//!   wear-rate multipliers feeding [`wear`], and the scalar risk score the
+//!   risk-aware admission rule compares against the configured budget.
 //! * [`budget`] — the epoch-based overclocking time budget (§IV-B): a weekly
 //!   epoch split into per-weekday allowances, reservations for scheduled
 //!   requests, and carry-over of unused budget.
@@ -27,12 +31,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binning;
 pub mod budget;
 pub mod counters;
 pub mod thermal;
 pub mod tracker;
 pub mod wear;
 
+pub use binning::{BinningConfig, SiliconPart};
 pub use budget::{BudgetError, OverclockBudget};
 pub use counters::WearoutCounter;
 pub use thermal::{Cooling, ThermalModel};

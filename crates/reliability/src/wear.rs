@@ -119,6 +119,26 @@ impl WearModel {
         self.t_ref_c
     }
 
+    /// Idle (static) ageing rate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Activity-dependent ageing coefficient.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Voltage acceleration exponent (per volt above turbo voltage).
+    pub fn k_voltage(&self) -> f64 {
+        self.k_voltage
+    }
+
+    /// Temperature acceleration exponent (per °C above reference).
+    pub fn k_temp(&self) -> f64 {
+        self.k_temp
+    }
+
     /// Instantaneous ageing rate at a core state (dimensionless; 1.0 = ages
     /// at the vendor-reference speed).
     ///

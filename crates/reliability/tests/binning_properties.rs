@@ -1,0 +1,208 @@
+//! Property-style tests for `soc_reliability::binning`.
+//!
+//! No external property-testing framework: cases are generated in seeded
+//! `Pcg32` loops, so the suite is deterministic, dependency-free, and every
+//! failure reproduces from the loop seed printed in the assertion message.
+//!
+//! Pinned invariants:
+//!
+//! * silicon draws are **query-order- and shard-invariant**: a part's
+//!   identity depends only on `(config, plan, part_id)`, never on which
+//!   other parts were drawn before it or how the fleet is partitioned
+//!   (the property both rack engines and sOA restarts rely on);
+//! * the risk score is **monotone in bin aggressiveness**: for a fixed
+//!   part, more bins never lowers its risk;
+//! * wear multipliers stay inside the configured
+//!   `[1 − wear_spread, 1 + wear_spread]` bounds;
+//! * bin assignment for a given `(seed, part_id)` is stable across runs,
+//!   and the degenerate uniform config draws the ideal part everywhere;
+//! * admission is monotone in the risk budget and transparent for the
+//!   uniform fleet.
+
+use simcore::rng::Pcg32;
+use soc_power::freq::FrequencyPlan;
+use soc_reliability::binning::BinningConfig;
+
+/// Random-but-seeded heterogeneous configuration for one test case.
+fn arb_config(rng: &mut Pcg32) -> BinningConfig {
+    BinningConfig {
+        bins: 2 + rng.gen_index(15) as u32,
+        risk_budget: rng.next_f64(),
+        wear_spread: rng.gen_range_f64(0.0, 0.9),
+        seed: rng.next_u64(),
+    }
+}
+
+fn plans() -> [FrequencyPlan; 2] {
+    [
+        FrequencyPlan::amd_reference(),
+        FrequencyPlan::intel_reference(),
+    ]
+}
+
+#[test]
+fn draws_are_query_order_and_shard_invariant() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(2000 + case);
+        let cfg = arb_config(&mut rng);
+        for plan in &plans() {
+            let n = 64usize;
+            // Forward order, reverse order, and an interleaved "sharded"
+            // order (odd part ids first) must all see the same silicon.
+            let forward: Vec<_> = (0..n as u64).map(|id| cfg.part(plan, id)).collect();
+            let mut reverse: Vec<_> = (0..n as u64).rev().map(|id| cfg.part(plan, id)).collect();
+            reverse.reverse();
+            let sharded: Vec<_> = (0..n as u64)
+                .filter(|id| id % 2 == 1)
+                .chain((0..n as u64).filter(|id| id % 2 == 0))
+                .map(|id| (id, cfg.part(plan, id)))
+                .collect();
+            assert_eq!(
+                forward, reverse,
+                "case {case}: reverse query order diverged"
+            );
+            for (id, part) in sharded {
+                assert_eq!(
+                    forward[id as usize], part,
+                    "case {case}: sharded query order diverged at part {id}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bin_assignment_is_stable_for_seed_and_part_id() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(3000 + case);
+        let cfg = arb_config(&mut rng);
+        let plan = &plans()[rng.gen_index(2)];
+        let id = rng.next_u64();
+        let first = cfg.part(plan, id);
+        for rep in 0..5 {
+            assert_eq!(
+                cfg.part(plan, id),
+                first,
+                "case {case}: draw for (seed {}, part {id}) unstable at rep {rep}",
+                cfg.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn risk_is_monotone_in_bin_aggressiveness() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(4000 + case);
+        let seed = rng.next_u64();
+        let plan = &plans()[rng.gen_index(2)];
+        for id in 0..32u64 {
+            let mut prev = 0.0f64;
+            for bins in 1..=16u32 {
+                let cfg = BinningConfig {
+                    bins,
+                    ..BinningConfig::uniform()
+                };
+                let cfg = BinningConfig { seed, ..cfg };
+                let risk = cfg.part(plan, id).risk;
+                assert!(
+                    risk + 1e-12 >= prev,
+                    "case {case}: part {id} risk fell from {prev} to {risk} at {bins} bins"
+                );
+                assert!(
+                    (0.0..1.0).contains(&risk),
+                    "case {case}: part {id} risk {risk} outside [0, 1)"
+                );
+                prev = risk;
+            }
+        }
+    }
+}
+
+#[test]
+fn wear_multipliers_stay_within_configured_bounds() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(5000 + case);
+        let cfg = arb_config(&mut rng);
+        let plan = &plans()[rng.gen_index(2)];
+        let lo = 1.0 - cfg.wear_spread;
+        let hi = 1.0 + cfg.wear_spread;
+        for id in 0..128u64 {
+            let part = cfg.part(plan, id);
+            for (name, mult) in [
+                ("voltage", part.voltage_wear_mult),
+                ("temp", part.temp_wear_mult),
+            ] {
+                assert!(
+                    (lo..=hi).contains(&mult),
+                    "case {case}: part {id} {name} multiplier {mult} outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn binned_max_overclock_stays_on_the_frequency_ladder() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(6000 + case);
+        let cfg = arb_config(&mut rng);
+        for plan in &plans() {
+            for id in 0..64u64 {
+                let part = cfg.part(plan, id);
+                assert!(
+                    part.max_oc <= plan.max_overclock() && part.max_oc > plan.turbo(),
+                    "case {case}: part {id} max_oc {} off the overclock range",
+                    part.max_oc
+                );
+                let off_grid = part.max_oc.get().abs_diff(plan.turbo().get()) % plan.step().get();
+                assert_eq!(
+                    off_grid, 0,
+                    "case {case}: part {id} max_oc {} not on a frequency step",
+                    part.max_oc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn admission_is_monotone_in_risk_budget_and_uniform_transparent() {
+    for case in 0..50u64 {
+        let mut rng = Pcg32::seed_from_u64(7000 + case);
+        let cfg = arb_config(&mut rng);
+        let plan = &plans()[rng.gen_index(2)];
+        for id in 0..32u64 {
+            let part = cfg.part(plan, id);
+            let mut prev = part.admit(plan, 1.0, plan.max_overclock());
+            assert!(
+                prev.is_some(),
+                "case {case}: part {id} denied under a full risk budget"
+            );
+            let mut budget = 1.0;
+            while budget > 0.0 {
+                budget -= rng.gen_range_f64(0.05, 0.3);
+                let f = part.admit(plan, budget.max(0.0), plan.max_overclock());
+                match (prev, f) {
+                    (Some(a), Some(b)) => assert!(
+                        b <= a,
+                        "case {case}: part {id} admitted higher under a tighter budget"
+                    ),
+                    (None, Some(_)) => {
+                        panic!("case {case}: part {id} re-admitted under a tighter budget")
+                    }
+                    _ => {}
+                }
+                prev = f;
+            }
+        }
+        // The degenerate uniform config is transparent at every budget.
+        let uniform = BinningConfig::uniform();
+        let part = uniform.part(plan, rng.next_u64());
+        assert_eq!(
+            part.admit(plan, 0.0, plan.max_overclock()),
+            Some(plan.max_overclock()),
+            "case {case}: uniform part must pass even a zero budget"
+        );
+    }
+}

@@ -24,7 +24,9 @@ use simcore::time::SimDuration;
 use smartoclock::policy::PolicyKind;
 use soc_cluster::harness::{ClusterConfig, SystemKind};
 use soc_cluster::largescale::LargeScaleConfig;
+use soc_cluster::largescale_metrics::RackOutcome;
 use soc_cluster::shard::{run_cluster_sims, simulate_policy_sharded};
+use soc_reliability::binning::BinningConfig;
 use soc_telemetry::json::event_to_json;
 use soc_telemetry::Telemetry;
 
@@ -179,6 +181,68 @@ fn zero_fault_plan_is_byte_identical_to_unfaulted_run() {
     assert_eq!(a.0, b.0, "no-op fault plan must not change a single byte");
     assert_eq!(a.1, b.1, "no-op fault plan must not change metrics");
     assert_eq!(a.2, b.2, "no-op fault plan must not change outcomes");
+}
+
+#[test]
+fn binned_silicon_identity_survives_soa_restarts() {
+    // Silicon is a physical property of the chip, not control-plane state:
+    // a restarted sOA loses its grants but re-derives the same part
+    // identity from the stateless `(seed, part_id)` draw. Under a hostile
+    // plan with injected restarts, the per-rack bin census (denied /
+    // down-binned parts) must match the same binned fleet with no faults
+    // at all, the safety invariant must still hold, and the composition of
+    // binning + restarts must stay thread-count invariant.
+    let mut cfg = faulted_config(42, 3);
+    cfg.binning = BinningConfig {
+        bins: 8,
+        risk_budget: 0.3,
+        wear_spread: 0.4,
+        seed: 9,
+    };
+    let faulted = traced_run(&cfg, PolicyKind::SmartOClock, 1);
+    let restarts: u64 = faulted.2.iter().map(|o| o.restarts).sum();
+    assert!(
+        restarts > 0,
+        "the hostile plan must actually inject restarts"
+    );
+    assert!(
+        faulted.2.iter().map(|o| o.wear_days).sum::<f64>() > 0.0,
+        "binned grants must accrue per-part wear even under restarts"
+    );
+    for o in &faulted.2 {
+        assert_eq!(
+            o.violation_steps, 0,
+            "rack {}: enforcement must hold the budget for binned fleets too",
+            o.rack
+        );
+    }
+    let mut calm = cfg.clone();
+    calm.faults = FaultPlanConfig::none();
+    let clean = traced_run(&calm, PolicyKind::SmartOClock, 1);
+    let census = |outcomes: &[RackOutcome]| -> Vec<(usize, u64, u64)> {
+        outcomes
+            .iter()
+            .map(|o| (o.rack, o.bin_denied, o.down_binned))
+            .collect()
+    };
+    assert_eq!(
+        census(&faulted.2),
+        census(&clean.2),
+        "restarts must not change which parts are denied or down-binned"
+    );
+    let sharded = traced_run(&cfg, PolicyKind::SmartOClock, multi_threads());
+    assert_eq!(
+        faulted.0, sharded.0,
+        "binned chaos trace must not depend on threads"
+    );
+    assert_eq!(
+        faulted.1, sharded.1,
+        "binned chaos metrics must not depend on threads"
+    );
+    assert_eq!(
+        faulted.2, sharded.2,
+        "binned chaos outcomes must not depend on threads"
+    );
 }
 
 #[test]

@@ -23,6 +23,7 @@ use soc_cluster::shard::{
     simulate_policy_sharded, train_fleet_probed,
 };
 use soc_cluster::NoopProbe;
+use soc_reliability::binning::BinningConfig;
 use soc_telemetry::json::event_to_json;
 use soc_telemetry::Telemetry;
 
@@ -30,6 +31,18 @@ fn config(seed: u64, faults: FaultPlanConfig) -> LargeScaleConfig {
     let mut cfg = LargeScaleConfig::small_test();
     cfg.seed = seed;
     cfg.faults = faults;
+    cfg
+}
+
+/// A heterogeneous silicon fleet: many bins, a tight-ish risk budget, and a
+/// wide wear spread so denials, down-bins, and per-part wear all occur.
+fn binned(mut cfg: LargeScaleConfig, seed: u64) -> LargeScaleConfig {
+    cfg.binning = BinningConfig {
+        bins: 8,
+        risk_budget: 0.3,
+        wear_spread: 0.4,
+        seed,
+    };
     cfg
 }
 
@@ -112,6 +125,43 @@ fn columnar_engine_matches_reference_for_every_policy() {
 }
 
 #[test]
+fn columnar_engine_matches_reference_with_heterogeneous_silicon() {
+    // Per-part silicon heterogeneity across seeds: the columnar engine's
+    // per-bin factor tables must reproduce the reference engine's per-server
+    // frequency resolution bit for bit.
+    for seed in [7, 42] {
+        let cfg = binned(config(seed, FaultPlanConfig::none()), seed);
+        assert_equivalent(&cfg, PolicyKind::SmartOClock, &format!("binned {seed}"));
+    }
+    // Every policy over one binned fleet.
+    let cfg = binned(config(42, FaultPlanConfig::none()), 42);
+    for policy in PolicyKind::ALL {
+        assert_equivalent(&cfg, policy, "binned all-policies");
+    }
+    // Binning and the full chaos fault plan composed.
+    let cfg = binned(config(42, chaos_faults(3)), 13);
+    assert_equivalent(&cfg, PolicyKind::SmartOClock, "binned chaos");
+    assert_equivalent(&cfg, PolicyKind::Central, "binned chaos");
+}
+
+#[test]
+fn columnar_engine_matches_reference_on_fallback_prediction_path() {
+    // A step that does not divide the week would make the columnar engine's
+    // slot memoization build no tables and predict per step. No trainable
+    // config can produce such a step (template training asserts the step
+    // divides a day, and every day-divisor divides the week), so the
+    // `disable_slot_memo` kill switch forces the same fallback arms — which
+    // must still agree byte for byte, with and without heterogeneous
+    // silicon. `SlotTables::build`'s non-divisor guard itself is pinned by
+    // an in-crate unit test.
+    let mut cfg = config(42, FaultPlanConfig::none());
+    cfg.disable_slot_memo = true;
+    assert_equivalent(&cfg, PolicyKind::SmartOClock, "slot memo disabled");
+    let cfg = binned(cfg, 42);
+    assert_equivalent(&cfg, PolicyKind::SmartOClock, "slot memo disabled binned");
+}
+
+#[test]
 fn columnar_engine_matches_reference_under_fault_plans() {
     // Chaos plan across two seeds, plus the two paper-relevant policies
     // (decentralized SmartOClock and the centralized baseline) and both
@@ -156,6 +206,9 @@ fn smoke_100k_racks_streams_and_stays_deterministic() {
     // 6h divides a day evenly (template slots stay aligned) and keeps the
     // run to ~8 evaluated steps per rack.
     cfg.step = SimDuration::from_hours(6);
+    // Heterogeneous silicon at scale: the per-bin tables must stay
+    // deterministic across sharding too.
+    let cfg = binned(cfg, 42);
     let telemetry = Telemetry::disabled();
     let one = simulate_policy_sharded(&cfg, PolicyKind::SmartOClock, &telemetry, 1);
     assert_eq!(one.len(), 100_000);
@@ -163,4 +216,6 @@ fn smoke_100k_racks_streams_and_stays_deterministic() {
     assert_eq!(one, four, "100k-rack outcomes diverged at 4 threads");
     let granted: u64 = one.iter().map(|o| o.granted).sum();
     assert!(granted > 0, "no overclocking granted across 100k racks");
+    let denied: u64 = one.iter().map(|o| o.bin_denied).sum();
+    assert!(denied > 0, "a 0.3 risk budget must deny some of 100k racks");
 }

@@ -16,16 +16,17 @@
 //!
 //! and commit the diff together with a justification.
 
-use simcore::faults::FaultPlanConfig;
+use simcore::faults::{FaultPlan, FaultPlanConfig};
 use simcore::time::SimDuration;
 use smartoclock::policy::PolicyKind;
 use soc_cluster::envs::{run_at_rate, Environment};
 use soc_cluster::largescale::LargeScaleConfig;
 use soc_cluster::largescale_metrics::PolicyMetrics;
-use soc_cluster::shard::simulate_policy_sharded;
+use soc_cluster::shard::{generate_fleet, simulate_policy_sharded, FleetTraces};
 use soc_power::freq::FrequencyPlan;
 use soc_predict::eval::walk_forward;
 use soc_predict::template::TemplateKind;
+use soc_reliability::binning::BinningConfig;
 use soc_telemetry::Telemetry;
 use soc_traces::gen::{FleetConfig, TraceGenerator};
 use soc_workloads::microservice::ServiceSpec;
@@ -99,7 +100,83 @@ fn compute_summary() -> String {
             );
         }
     }
+    // --- exp_binning slice: the tiny-fixture form of the bench's bins ×
+    // risk-budget sweep (the binary runs 8-24 racks; this pins 4). The
+    // certified column is the silicon-only frontier; granted/denied/wear
+    // are the simulated consequences.
+    for (bins, budget) in [(1u32, 1.0f64), (8, 1.0), (8, 0.1)] {
+        let mut cfg = LargeScaleConfig::small_test();
+        cfg.binning = binning_config(bins, budget);
+        let fleet = generate_fleet(&cfg, 1);
+        let outcomes =
+            simulate_policy_sharded(&cfg, PolicyKind::SmartOClock, &Telemetry::disabled(), 1);
+        let m = PolicyMetrics::aggregate(PolicyKind::SmartOClock, &outcomes);
+        let _ = writeln!(
+            out,
+            "binning bins={bins} budget={budget:.2} certified={:.6} granted={} \
+             denied={} down_binned={} wear_days={:.6}",
+            certified_fraction(&fleet, &cfg.binning),
+            m.granted,
+            m.bin_denied,
+            m.down_binned,
+            m.wear_days
+        );
+    }
     out
+}
+
+/// The bench sweep's binning cell for the fixture fleet.
+fn binning_config(bins: u32, risk_budget: f64) -> BinningConfig {
+    BinningConfig {
+        bins,
+        risk_budget,
+        wear_spread: if bins > 1 { 0.3 } else { 0.0 },
+        seed: 42,
+    }
+}
+
+/// Mean certified overclock fraction across every part in the fleet (the
+/// `exp_binning` frontier column): the admitted frequency's position in the
+/// turbo→max-overclock span, 0 for a bin-denied part.
+fn certified_fraction(fleet: &FleetTraces, binning: &BinningConfig) -> f64 {
+    let mut certified = 0.0;
+    let mut parts = 0u64;
+    for (rack, model) in fleet.iter() {
+        let plan = model.plan();
+        let span = plan.max_overclock().saturating_sub(plan.turbo());
+        if span.get() == 0 {
+            continue;
+        }
+        for s in 0..rack.servers.len() {
+            let part = binning.part(&plan, FaultPlan::entity_id(rack.index, s));
+            certified += part
+                .admit(&plan, binning.risk_budget, plan.max_overclock())
+                .map_or(0.0, |f| f.saturating_sub(plan.turbo()).ratio(span));
+            parts += 1;
+        }
+    }
+    certified / parts.max(1) as f64
+}
+
+#[test]
+fn certified_frontier_is_monotone_in_risk_budget() {
+    // The exp_binning headline depends on the certified fraction being
+    // monotone non-increasing as the budget tightens; pin it over the
+    // fixture fleet at every bin count the bench sweeps.
+    let cfg = LargeScaleConfig::small_test();
+    let fleet = generate_fleet(&cfg, 1);
+    for bins in [1u32, 4, 8] {
+        let mut last = f64::INFINITY;
+        for budget in [1.0, 0.5, 0.25, 0.1] {
+            let c = certified_fraction(&fleet, &binning_config(bins, budget));
+            assert!(
+                c <= last + 1e-12,
+                "certified fraction rose from {last} to {c} as the budget \
+                 tightened to {budget} (bins={bins})"
+            );
+            last = c;
+        }
+    }
 }
 
 #[test]
